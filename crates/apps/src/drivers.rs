@@ -1,0 +1,349 @@
+//! Scenario drivers: complete, parameterised runs of the trading-room and
+//! factory workloads, shared by the test suite, the examples, and the
+//! experiment binaries (E9/E10).
+
+use now_sim::{Pid, Sim, SimConfig, SimDuration, SimTime};
+
+use isis_core::testutil::generic_cluster;
+use isis_core::{GroupId, IsisConfig, IsisProcess};
+use isis_hier::harness::generic_large_cluster;
+use isis_hier::{HierApp, LargeGroupConfig, LargeGroupId};
+use isis_toolkit::hier::{Directory, LeafServiceApp};
+
+use crate::factory::{
+    audit_keys, conservation_holds, pick_parts, FactoryReport, Recipe,
+};
+use crate::trading::{FlatAnalyst, HierAnalyst, QuoteStream, TradingReport};
+
+/// Symbols per analyst subscription in the synthetic floor.
+const SUBS_PER_ANALYST: u32 = 4;
+/// Symbol universe size.
+const SYMBOLS: u32 = 64;
+
+fn subscription(i: usize) -> Vec<u32> {
+    (0..SUBS_PER_ANALYST)
+        .map(|k| (i as u32 * 7 + k * 13) % SYMBOLS)
+        .collect()
+}
+
+/// Runs the hierarchical trading floor: `analysts` workstations in a large
+/// group, one feed member, `quotes` events at `quotes_per_sec`.
+pub fn run_trading_hier(
+    analysts: usize,
+    quotes: u64,
+    quotes_per_sec: u64,
+    cfg: LargeGroupConfig,
+    seed: u64,
+) -> TradingReport {
+    run_trading_hier_with(analysts, quotes, quotes_per_sec, cfg, IsisConfig::default(), seed)
+}
+
+/// [`run_trading_hier`] with an explicit ISIS configuration. Experiments
+/// that compare message counts against a quiet flat baseline pass
+/// `IsisConfig::quiet()` plus a `counting()` group config so both sides
+/// carry only quote traffic.
+pub fn run_trading_hier_with(
+    analysts: usize,
+    quotes: u64,
+    quotes_per_sec: u64,
+    cfg: LargeGroupConfig,
+    icfg: IsisConfig,
+    seed: u64,
+) -> TradingReport {
+    let lgid = LargeGroupId(1);
+    let (mut sim, _leaders, members) = generic_large_cluster(
+        analysts,
+        cfg,
+        icfg,
+        SimConfig::lan(seed),
+        |i| HierAnalyst::new(lgid, subscription(i)),
+    );
+    // Steady state, then a measured window.
+    sim.run_for(SimDuration::from_secs(2));
+    sim.stats_mut().enable_fanout_tracking();
+    sim.stats_mut().reset_window();
+
+    let feed = members[0];
+    let mut stream = QuoteStream::new(SYMBOLS);
+    let gap = crate::trading::rate_to_gap(quotes_per_sec);
+    for _ in 0..quotes {
+        let q = stream.next_quote(sim.now());
+        sim.invoke(feed, move |p, ctx| {
+            p.with_app(ctx, move |app, up| {
+                app.with_business(up, |_biz, lup| lup.lbcast(lgid, q.clone()));
+            });
+        });
+        sim.run_for(gap);
+    }
+    sim.run_for(SimDuration::from_secs(10));
+
+    let lat = sim.stats().series("trading.latency_ms");
+    let deliveries: u64 = members
+        .iter()
+        .map(|&m| sim.process(m).app().biz().delivered)
+        .sum();
+    TradingReport {
+        analysts,
+        quotes,
+        deliveries,
+        p50_ms: lat.p50(),
+        p99_ms: lat.p99(),
+        max_ms: lat.max(),
+        messages: sim.stats().messages_sent,
+        max_fanout: sim.stats().max_distinct_destinations(),
+        delivery_ratio: deliveries as f64 / (quotes * analysts as u64) as f64,
+    }
+}
+
+/// Runs the flat baseline: every analyst in one ISIS group; the feed
+/// member FBCASTs each quote to all of them directly.
+///
+/// Heartbeats are disabled during the measured window (an all-to-all
+/// heartbeat mesh at hundreds of members swamps both the simulated network
+/// and the experiment; E5 quantifies that cost separately).
+pub fn run_trading_flat(
+    analysts: usize,
+    quotes: u64,
+    quotes_per_sec: u64,
+    seed: u64,
+) -> TradingReport {
+    let gid = GroupId(1);
+    let (mut sim, members) = generic_cluster(
+        analysts,
+        gid,
+        IsisConfig::quiet(),
+        SimConfig::lan(seed),
+        |i| FlatAnalyst::new(gid, subscription(i)),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    sim.stats_mut().enable_fanout_tracking();
+    sim.stats_mut().reset_window();
+
+    let feed = members[0];
+    let mut stream = QuoteStream::new(SYMBOLS);
+    let gap = crate::trading::rate_to_gap(quotes_per_sec);
+    for _ in 0..quotes {
+        let q = stream.next_quote(sim.now());
+        sim.invoke(feed, move |p, ctx| {
+            p.with_app(ctx, move |app, up| app.publish(q.clone(), up));
+        });
+        sim.run_for(gap);
+    }
+    sim.run_for(SimDuration::from_secs(10));
+
+    let lat = sim.stats().series("trading.latency_ms");
+    let deliveries: u64 = members
+        .iter()
+        .map(|&m| sim.process(m).app().delivered)
+        .sum();
+    TradingReport {
+        analysts,
+        quotes,
+        deliveries,
+        p50_ms: lat.p50(),
+        p99_ms: lat.p99(),
+        max_ms: lat.max(),
+        messages: sim.stats().messages_sent,
+        max_fanout: sim.stats().max_distinct_destinations(),
+        delivery_ratio: deliveries as f64 / (quotes * analysts as u64) as f64,
+    }
+}
+
+/// The simulated process type of the factory deployment.
+pub type FactoryProc = IsisProcess<HierApp<LeafServiceApp>>;
+
+/// Reads the leader's directory snapshot.
+pub fn directory_of(sim: &Sim<FactoryProc>, leader: Pid, lgid: LargeGroupId) -> Directory {
+    sim.process(leader)
+        .app()
+        .leader_view(lgid)
+        .expect("leader view")
+        .leaves
+        .iter()
+        .map(|l| (l.gid, l.contacts.clone()))
+        .collect()
+}
+
+/// Runs the factory: `cells` work cells issue `builds_per_cell`
+/// transactions each over a partitioned inventory, while `crash_cells`
+/// randomly chosen cells crash mid-run. Returns the audited report.
+pub fn run_factory(
+    cells: usize,
+    part_types: usize,
+    builds_per_cell: u64,
+    crash_cells: usize,
+    seed: u64,
+) -> FactoryReport {
+    let lgid = LargeGroupId(1);
+    let cfg = LargeGroupConfig::new(3, 4);
+    let (mut sim, leaders, members) = generic_large_cluster(
+        cells,
+        cfg,
+        IsisConfig::default(),
+        SimConfig::lan(seed),
+        |_| LeafServiceApp::new(lgid),
+    );
+    let recipe = Recipe {
+        part_types,
+        initial_stock: 1_000_000,
+    };
+
+    // Wait for the structure to settle: a formation tail-leaf below
+    // min_leaf will be merged away within seconds, and the routing
+    // directory must be snapshotted *after* that (key routing is static
+    // for the run — the versioned name service is future work in the
+    // paper).
+    let settle_deadline = sim.now() + SimDuration::from_secs(120);
+    loop {
+        let dir = directory_of(&sim, leaders[0], lgid);
+        let stable = !dir.is_empty()
+            && sim
+                .process(leaders[0])
+                .app()
+                .leader_view(lgid)
+                .is_some_and(|v| v.leaves.iter().all(|l| l.size >= 3) && !v.leaves.is_empty());
+        if stable || sim.now() >= settle_deadline {
+            break;
+        }
+        sim.run_for(SimDuration::from_secs(1));
+    }
+
+    // Seed the inventory through a single transaction from cell 0.
+    let dir = directory_of(&sim, leaders[0], lgid);
+    let seeder = members[0];
+    let seed_writes = recipe.seed_writes();
+    let d2 = dir.clone();
+    sim.invoke(seeder, move |p, ctx| {
+        p.with_app(ctx, |app, up| {
+            app.with_business(up, |biz, lup| {
+                biz.begin_txn(&d2, &seed_writes, lup);
+            });
+        });
+    });
+    sim.run_for(SimDuration::from_secs(10));
+    sim.stats_mut().reset_window();
+
+    // Crash schedule: evenly spread over the first half of the run.
+    let mut crash_plan: Vec<(SimTime, Pid)> = Vec::new();
+    for k in 0..crash_cells.min(cells / 4) {
+        // Victims from the tail so the seeder survives.
+        let victim = members[cells - 1 - k];
+        let at = sim.now() + SimDuration::from_secs(2 + 3 * k as u64);
+        sim.schedule_crash(victim, at);
+        crash_plan.push((at, victim));
+    }
+
+    // Production: every live cell fires transactions round-robin. Key
+    // routing uses the *seed-time leaf order* so shard assignment stays
+    // stable; only the contact lists are refreshed each round. (The paper
+    // leaves the large-scale name service to future work; a real one
+    // would version the key space the same way.)
+    let seed_dir = dir.clone();
+    let mut attempts: u64 = 0;
+    for k in 0..builds_per_cell {
+        let fresh = directory_of(&sim, leaders[0], lgid);
+        let dir: Directory = seed_dir
+            .iter()
+            .map(|(gid, old_contacts)| {
+                let contacts = fresh
+                    .iter()
+                    .find(|(g, _)| g == gid)
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or_else(|| old_contacts.clone());
+                (*gid, contacts)
+            })
+            .collect();
+        for (c, &cell) in members.iter().enumerate() {
+            if !sim.is_alive(cell) {
+                continue;
+            }
+            let (a, b) = pick_parts(c, k, part_types);
+            let writes = recipe.build_writes(c, a, b);
+            let d = dir.clone();
+            sim.invoke(cell, move |p, ctx| {
+                p.with_app(ctx, |app, up| {
+                    app.with_business(up, |biz, lup| {
+                        biz.begin_txn(&d, &writes, lup);
+                    });
+                });
+            });
+            attempts += 1;
+            sim.run_for(SimDuration::from_millis(30));
+        }
+        sim.run_for(SimDuration::from_millis(200));
+    }
+    // Drain.
+    sim.run_for(SimDuration::from_secs(60));
+
+    // Audit: fold outcomes and read the final inventory from live members.
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    for &m in &members {
+        if !sim.is_alive(m) {
+            continue;
+        }
+        for ok in sim.process(m).app().biz().txn_results.values() {
+            if *ok {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+        }
+    }
+    // Exclude the seed transaction from the tallies.
+    committed = committed.saturating_sub(1);
+
+    let (part_keys, product_keys) = audit_keys(&recipe, cells);
+    let read = |key: &str| -> i64 {
+        members
+            .iter()
+            .filter(|&&m| sim.is_alive(m))
+            .find_map(|&m| {
+                sim.process(m)
+                    .app()
+                    .biz()
+                    .state
+                    .get(key)
+                    .and_then(|v| v.parse::<i64>().ok())
+            })
+            .unwrap_or(recipe.initial_stock)
+    };
+    let remaining: Vec<i64> = part_keys.iter().map(|k| read(k)).collect();
+    let products: i64 = product_keys
+        .iter()
+        .map(|k| {
+            members
+                .iter()
+                .filter(|&&m| sim.is_alive(m))
+                .find_map(|&m| {
+                    sim.process(m)
+                        .app()
+                        .biz()
+                        .state
+                        .get(k)
+                        .and_then(|v| v.parse::<i64>().ok())
+                })
+                .unwrap_or(0)
+        })
+        .sum();
+
+    let resolved = committed + aborted;
+    let parts_consumed =
+        recipe.initial_stock * part_types as i64 - remaining.iter().sum::<i64>();
+    FactoryReport {
+        cells,
+        attempts,
+        committed,
+        aborted,
+        unresolved: attempts.saturating_sub(resolved),
+        conserved: conservation_holds(&recipe, &remaining, products),
+        parts_consumed,
+        products_built: products,
+        availability: if resolved > 0 {
+            committed as f64 / resolved as f64
+        } else {
+            0.0
+        },
+        messages: sim.stats().messages_sent,
+    }
+}

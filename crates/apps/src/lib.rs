@@ -1,0 +1,14 @@
+//! `isis-apps` — the paper's two motivating applications as synthetic
+//! workloads: the trading room (section 1: "100 to 500 trading analyst
+//! workstations ... sub-second response") and the manufacturing control
+//! system ("hundreds of work cells ... consistency and reliability are
+//! important"). Both run over the hierarchical group stack and, for the
+//! baseline comparisons, over flat ISIS groups.
+
+pub mod drivers;
+pub mod factory;
+pub mod trading;
+
+pub use drivers::{run_factory, run_trading_flat, run_trading_hier};
+pub use factory::{FactoryReport, Recipe};
+pub use trading::{Quote, QuoteStream, TradingReport};

@@ -1,0 +1,65 @@
+//! End-to-end workload tests: small instances of the paper's two
+//! motivating applications, checking correctness (delivery, conservation)
+//! rather than scale — the bench harness covers the scale sweeps (E9/E10).
+
+use isis_apps::{run_factory, run_trading_flat, run_trading_hier};
+use isis_hier::LargeGroupConfig;
+
+#[test]
+fn trading_hier_delivers_every_quote_to_every_analyst() {
+    let r = run_trading_hier(18, 30, 200, LargeGroupConfig::new(2, 3), 7);
+    assert_eq!(r.quotes, 30);
+    assert!(
+        (r.delivery_ratio - 1.0).abs() < 1e-9,
+        "lossy dissemination: {}",
+        r.delivery_ratio
+    );
+    assert!(r.p99_ms > 0.0 && r.p99_ms < 1_000.0, "p99={}ms", r.p99_ms);
+}
+
+#[test]
+fn trading_flat_delivers_but_with_unbounded_fanout() {
+    let r = run_trading_flat(18, 30, 200, 7);
+    assert!((r.delivery_ratio - 1.0).abs() < 1e-9);
+    // The feed contacts every other member directly: fanout n-1.
+    assert!(
+        r.max_fanout >= 17,
+        "flat feed fanout should be n-1, got {}",
+        r.max_fanout
+    );
+}
+
+#[test]
+fn trading_hier_bounds_per_process_fanout() {
+    let cfg = LargeGroupConfig::new(2, 3);
+    let r = run_trading_hier(24, 20, 200, cfg.clone(), 11);
+    assert!((r.delivery_ratio - 1.0).abs() < 1e-9);
+    // No process contacts more than fanout children + its leaf + slack
+    // (leader/beacon traffic), and far fewer than n.
+    let bound = cfg.fanout + cfg.max_leaf + 6;
+    assert!(
+        r.max_fanout <= bound,
+        "hier fanout {} exceeds bound {bound}",
+        r.max_fanout
+    );
+}
+
+#[test]
+fn factory_conserves_inventory_without_failures() {
+    let r = run_factory(12, 8, 3, 0, 3);
+    assert!(r.attempts >= 30);
+    assert!(r.committed > 0, "no production happened: {r:?}");
+    assert!(r.conserved, "conservation violated: {r:?}");
+    assert_eq!(r.parts_consumed, 2 * r.products_built, "{r:?}");
+}
+
+#[test]
+fn factory_conserves_inventory_under_cell_crashes() {
+    let r = run_factory(12, 8, 3, 2, 5);
+    assert!(r.committed > 0, "production stalled entirely: {r:?}");
+    assert!(
+        r.conserved,
+        "conservation must survive cell crashes: {r:?}"
+    );
+    assert_eq!(r.parts_consumed, 2 * r.products_built, "{r:?}");
+}

@@ -1,0 +1,194 @@
+//! Criterion micro/meso benchmarks of the stack's hot paths:
+//! vector-clock operations, broadcast delivery through a small flat group,
+//! a tree broadcast through a full hierarchy, and the two request paths
+//! the paper compares (flat coordinator-cohort vs leaf-scoped request).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use isis_bench::harness::{flat_service, hier_service_with, FLAT_GID, LGID};
+use isis_core::testutil::cluster;
+use isis_core::{CastKind, IsisConfig, VClock};
+use isis_hier::LargeGroupConfig;
+use now_sim::{Pid, SimDuration};
+
+fn bench_vclock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vclock");
+    g.bench_function("bump_merge_compare_16", |b| {
+        let mut a = VClock::new();
+        let mut other = VClock::new();
+        for i in 0..16u32 {
+            a.set(Pid(i), i as u64 + 1);
+            other.set(Pid(i), (i as u64 * 7) % 13 + 1);
+        }
+        b.iter(|| {
+            let mut x = a.clone();
+            x.bump(Pid(3));
+            x.merge(&other);
+            std::hint::black_box(x.compare(&other));
+        });
+    });
+    g.bench_function("deliverable_16", |b| {
+        let mut delivered = VClock::new();
+        let mut stamp = VClock::new();
+        for i in 0..16u32 {
+            delivered.set(Pid(i), 10);
+            stamp.set(Pid(i), 10);
+        }
+        stamp.set(Pid(5), 11);
+        b.iter(|| std::hint::black_box(delivered.deliverable(Pid(5), &stamp)));
+    });
+    g.finish();
+}
+
+fn bench_flat_abcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flat_group");
+    g.sample_size(20);
+    for n in [4usize, 8, 16] {
+        g.bench_function(format!("abcast_n{n}"), |b| {
+            b.iter_batched(
+                || cluster(n, IsisConfig::quiet(), 42),
+                |mut cl| {
+                    let sender = cl.pids[0];
+                    let gid = cl.gid;
+                    for i in 0..10 {
+                        cl.sim.invoke(sender, move |p, ctx| {
+                            p.cast(gid, CastKind::Total, format!("m{i}"), ctx).unwrap();
+                        });
+                    }
+                    cl.sim.run_for(SimDuration::from_secs(5));
+                    assert_eq!(cl.sim.process(cl.pids[1]).app().payloads(gid).len(), 10);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_flat_request(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request_path");
+    g.sample_size(15);
+    for n in [8usize, 32] {
+        g.bench_function(format!("flat_request_n{n}"), |b| {
+            b.iter_batched(
+                || flat_service(n, 7),
+                |mut svc| {
+                    let members = svc.members.clone();
+                    svc.sim.invoke(svc.client, move |p, ctx| {
+                        p.with_app(ctx, |app, up| app.send_request(&members, "PUT k v", up))
+                    });
+                    svc.sim.run_for(SimDuration::from_secs(2));
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    for n in [32usize] {
+        g.bench_function(format!("hier_request_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    hier_service_with(
+                        n,
+                        LargeGroupConfig::new(3, 4).counting(),
+                        IsisConfig::quiet(),
+                        7,
+                    )
+                },
+                |mut svc| {
+                    let dir = svc.directory();
+                    let (leaf, _) = *isis_toolkit::hier::home_leaf(&dir, "k");
+                    let targets = svc.leaf_members(leaf);
+                    let client = svc.client;
+                    svc.sim.invoke(client, move |p, ctx| {
+                        p.with_app(ctx, |app, up| {
+                            app.with_business(up, |biz, lup| {
+                                biz.send_request_to(&targets, "PUT k v", lup);
+                            });
+                        });
+                    });
+                    svc.sim.run_for(SimDuration::from_secs(2));
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_broadcast");
+    g.sample_size(10);
+    for n in [32usize, 96] {
+        g.bench_function(format!("lbcast_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    hier_service_with(
+                        n,
+                        LargeGroupConfig::new(3, 4).counting(),
+                        IsisConfig::quiet(),
+                        11,
+                    )
+                },
+                |mut svc| {
+                    let origin = svc.members[n / 2];
+                    svc.sim.invoke(origin, move |p, ctx| {
+                        p.with_app(ctx, |app, up| {
+                            app.with_business(up, |_biz, lup| {
+                                let me = lup.me();
+                                lup.lbcast(
+                                    LGID,
+                                    isis_toolkit::hier::HSvcMsg::Reply {
+                                        req: isis_toolkit::ReqId { client: me, seq: 0 },
+                                        reply: "b".into(),
+                                    },
+                                );
+                            });
+                        });
+                    });
+                    svc.sim.run_for(SimDuration::from_secs(10));
+                    assert!(
+                        svc.sim.stats().counter("hier.lbcast.delivered") >= n as u64
+                    );
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_change(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membership");
+    g.sample_size(10);
+    for n in [8usize, 32] {
+        g.bench_function(format!("flat_view_change_n{n}"), |b| {
+            b.iter_batched(
+                || flat_service(n, 21),
+                |mut svc| {
+                    let victim = svc.members[n / 2];
+                    svc.sim.crash(victim);
+                    for &m in &svc.members.clone() {
+                        if m != victim {
+                            svc.sim.invoke(m, move |p, ctx| {
+                                let _ = p.report_suspect(FLAT_GID, victim, ctx);
+                            });
+                        }
+                    }
+                    svc.sim.run_for(SimDuration::from_secs(10));
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vclock,
+    bench_flat_abcast,
+    bench_flat_request,
+    bench_tree_broadcast,
+    bench_view_change
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the A1 table (see DESIGN.md).
+fn main() {
+    isis_bench::experiments::a1(isis_bench::quick_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the A2 table (see DESIGN.md).
+fn main() {
+    isis_bench::experiments::a2(isis_bench::quick_mode()).print();
+}

@@ -1,0 +1,13 @@
+//! Runs the full experiment suite and prints every table — the input for
+//! EXPERIMENTS.md.
+fn main() {
+    let q = isis_bench::quick_mode();
+    use isis_bench::experiments as ex;
+    for t in [
+        ex::e1(q), ex::e2(q), ex::e3(q), ex::e4(q), ex::e5(q), ex::e6(q),
+        ex::e7(q), ex::e8(q), ex::e9(q), ex::e10(q), ex::a1(q), ex::a2(q),
+        ex::partitions(q),
+    ] {
+        t.print();
+    }
+}

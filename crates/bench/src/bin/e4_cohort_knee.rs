@@ -1,0 +1,4 @@
+//! Experiment binary: prints the E4 table (see DESIGN.md).
+fn main() {
+    isis_bench::experiments::e4(isis_bench::quick_mode()).print();
+}

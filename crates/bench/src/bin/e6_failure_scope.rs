@@ -1,0 +1,4 @@
+//! Experiment binary: prints the E6 table (see DESIGN.md).
+fn main() {
+    isis_bench::experiments::e6(isis_bench::quick_mode()).print();
+}

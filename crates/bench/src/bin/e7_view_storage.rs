@@ -1,0 +1,4 @@
+//! Experiment binary: prints the E7 table (see DESIGN.md).
+fn main() {
+    isis_bench::experiments::e7(isis_bench::quick_mode()).print();
+}

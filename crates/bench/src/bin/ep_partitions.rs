@@ -1,0 +1,4 @@
+//! Experiment binary: prints the PARTITIONS table (see DESIGN.md).
+fn main() {
+    isis_bench::experiments::partitions(isis_bench::quick_mode()).print();
+}

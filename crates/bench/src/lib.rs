@@ -1,0 +1,10 @@
+//! `isis-bench` — the experiment harness: every quantitative claim in the
+//! paper has an experiment here (E1–E10), plus two design ablations
+//! (A1–A2) and a partition scenario. Each `e*`/`a*` binary prints the
+//! corresponding table; `QUICK=1` shrinks the sweeps.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use report::{quick_mode, Table};

@@ -1,0 +1,93 @@
+//! Tunables of the ISIS runtime.
+
+use now_sim::SimDuration;
+
+/// Configuration of one ISIS process.
+///
+/// Defaults model the paper's environment: a LAN where heartbeats every
+/// 200 ms and a 1 s failure-detection timeout give sub-second membership
+/// reaction without drowning the network.
+#[derive(Clone, Debug)]
+pub struct IsisConfig {
+    /// Internal housekeeping tick driving heartbeats, failure detection,
+    /// flush retries, and join retries.
+    pub tick: SimDuration,
+    /// Interval between liveness/stability heartbeats to group peers.
+    pub heartbeat: SimDuration,
+    /// Silence threshold after which a peer is suspected to have failed.
+    pub fd_timeout: SimDuration,
+    /// How long a view-change leader waits for flush acks before retrying.
+    pub flush_retry: SimDuration,
+    /// How long a joiner waits for a view before re-sending its join
+    /// request.
+    pub join_retry: SimDuration,
+    /// When `true`, a new view must contain a strict majority of the
+    /// previous view (primary-partition rule); minority survivors stall
+    /// instead of splitting the group. When `false`, the failure detector
+    /// is trusted (crash-only environments).
+    pub partition_safety: bool,
+    /// Master switch for heartbeats; experiments that count protocol
+    /// messages under a microscope can turn them off and drive membership
+    /// changes explicitly.
+    pub heartbeats_enabled: bool,
+}
+
+impl Default for IsisConfig {
+    fn default() -> IsisConfig {
+        IsisConfig {
+            tick: SimDuration::from_millis(50),
+            heartbeat: SimDuration::from_millis(200),
+            fd_timeout: SimDuration::from_millis(1_000),
+            flush_retry: SimDuration::from_millis(500),
+            join_retry: SimDuration::from_millis(1_000),
+            partition_safety: false,
+            heartbeats_enabled: true,
+        }
+    }
+}
+
+impl IsisConfig {
+    /// A configuration with no background traffic: heartbeats off, so the
+    /// only messages on the wire are the ones the experiment sends.
+    /// Failures must then be reported explicitly by the harness.
+    pub fn quiet() -> IsisConfig {
+        IsisConfig {
+            heartbeats_enabled: false,
+            ..IsisConfig::default()
+        }
+    }
+
+    /// A configuration with the primary-partition rule enabled.
+    pub fn partition_safe() -> IsisConfig {
+        IsisConfig {
+            partition_safety: true,
+            ..IsisConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = IsisConfig::default();
+        assert!(c.fd_timeout > c.heartbeat * 3, "FD must outlast several heartbeats");
+        assert!(c.tick < c.heartbeat);
+        assert!(c.heartbeats_enabled);
+        assert!(!c.partition_safety);
+    }
+
+    #[test]
+    fn quiet_disables_heartbeats_only() {
+        let c = IsisConfig::quiet();
+        assert!(!c.heartbeats_enabled);
+        assert_eq!(c.fd_timeout, IsisConfig::default().fd_timeout);
+    }
+
+    #[test]
+    fn partition_safe_sets_flag() {
+        assert!(IsisConfig::partition_safe().partition_safety);
+    }
+}

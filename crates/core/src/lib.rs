@@ -1,0 +1,54 @@
+//! `isis-core` — virtually synchronous process groups (the "existing ISIS
+//! toolkit" layer of Cooper & Birman 1989).
+//!
+//! This crate reimplements the ISIS model the paper builds on: *process
+//! groups* addressed as a unit, *broadcast protocols* with ordering
+//! guarantees (FBCAST, CBCAST, ABCAST), and *group views* whose changes are
+//! ordered with respect to every message (GBCAST, realised as a flush
+//! protocol). Together these give the virtual synchrony property: all
+//! members surviving a view change have delivered the same message set.
+//!
+//! The hierarchical large-group extension — the paper's contribution —
+//! lives in the `isis-hier` crate and uses this one for its leaf and leader
+//! groups.
+//!
+//! # Architecture
+//!
+//! - [`types`]: group ids, views, message ids.
+//! - [`vclock`]: vector timestamps for causal delivery.
+//! - [`msg`]: the wire protocol.
+//! - [`group`]: per-group data-plane state (ordering, stability, buffers).
+//! - [`membership`]: the flush protocol (view changes).
+//! - [`process`]: [`process::IsisProcess`], a `now-sim` process running the
+//!   stack plus an [`app::Application`].
+//! - [`testutil`]: recording application + cluster builders for tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use isis_core::testutil::cluster;
+//! use isis_core::{CastKind, IsisConfig};
+//!
+//! let mut c = cluster(4, IsisConfig::default(), 7);
+//! let sender = c.pids[0];
+//! c.cast_and_settle(sender, CastKind::Total, "hello");
+//! c.assert_identical_logs();
+//! ```
+
+pub mod app;
+pub mod config;
+pub mod group;
+pub mod membership;
+pub mod msg;
+pub mod process;
+pub mod testutil;
+pub mod types;
+pub mod vclock;
+
+pub use app::{Application, MsgOf, Uplink};
+pub use config::IsisConfig;
+pub use group::Status;
+pub use msg::{CastData, IsisMsg, RelaySet, StabilityVector};
+pub use process::IsisProcess;
+pub use types::{CastKind, GroupId, GroupView, IsisError, MsgId, ViewId};
+pub use vclock::{VClock, VOrd};

@@ -1,0 +1,235 @@
+//! Vector timestamps for causal broadcast.
+//!
+//! CBCAST stamps each message with the sender's vector of *delivered*
+//! causal-broadcast counts. A receiver delays a message until it has
+//! delivered everything the sender had delivered when it sent — the
+//! classical causal delivery condition of ISIS.
+
+use std::collections::BTreeMap;
+
+use now_sim::Pid;
+
+/// A vector timestamp: per-process count of causal broadcasts.
+///
+/// Keyed by `Pid` (not by view rank) so timestamps remain meaningful while
+/// a view change is being agreed. Missing entries are zero.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VClock {
+    entries: BTreeMap<Pid, u64>,
+}
+
+/// The result of comparing two vector timestamps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VOrd {
+    /// Identical vectors.
+    Equal,
+    /// `self` happened strictly before `other`.
+    Before,
+    /// `self` happened strictly after `other`.
+    After,
+    /// Neither dominates: the events are concurrent.
+    Concurrent,
+}
+
+impl VClock {
+    /// The all-zero clock.
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// The count for process `p` (zero when absent).
+    pub fn get(&self, p: Pid) -> u64 {
+        self.entries.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Sets the count for `p`. Zero entries are not stored.
+    pub fn set(&mut self, p: Pid, v: u64) {
+        if v == 0 {
+            self.entries.remove(&p);
+        } else {
+            self.entries.insert(p, v);
+        }
+    }
+
+    /// Increments the count for `p` and returns the new value.
+    pub fn bump(&mut self, p: Pid) -> u64 {
+        let e = self.entries.entry(p).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn merge(&mut self, other: &VClock) {
+        for (&p, &v) in &other.entries {
+            let e = self.entries.entry(p).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+
+    /// Compares two clocks under the pointwise partial order.
+    pub fn compare(&self, other: &VClock) -> VOrd {
+        let mut less = false;
+        let mut greater = false;
+        let keys: std::collections::BTreeSet<Pid> = self
+            .entries
+            .keys()
+            .chain(other.entries.keys())
+            .copied()
+            .collect();
+        for p in keys {
+            let (a, b) = (self.get(p), other.get(p));
+            if a < b {
+                less = true;
+            }
+            if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => VOrd::Equal,
+            (true, false) => VOrd::Before,
+            (false, true) => VOrd::After,
+            (true, true) => VOrd::Concurrent,
+        }
+    }
+
+    /// Sum of all entries. Strictly increases along any causal chain, so
+    /// sorting by `(sum, tiebreak)` is a valid linear extension of
+    /// causality — used to order relayed messages during view changes.
+    pub fn sum(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// The causal delivery test: can a message stamped `msg_vt` from
+    /// `sender` be delivered at a process whose delivered-vector is `self`?
+    ///
+    /// Deliverable iff `msg_vt[sender] == self[sender] + 1` (it is the very
+    /// next message from that sender) and `msg_vt[q] <= self[q]` for all
+    /// other `q` (we have delivered everything the sender had).
+    pub fn deliverable(&self, sender: Pid, msg_vt: &VClock) -> bool {
+        if msg_vt.get(sender) != self.get(sender) + 1 {
+            return false;
+        }
+        msg_vt
+            .entries
+            .iter()
+            .all(|(&q, &v)| q == sender || v <= self.get(q))
+    }
+
+    /// Number of non-zero entries (for storage accounting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every entry is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(pid, count)` pairs in pid order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pid, u64)> + '_ {
+        self.entries.iter().map(|(&p, &v)| (p, v))
+    }
+
+    /// Estimated storage bytes (for experiment E7).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len() * 12
+    }
+}
+
+impl FromIterator<(Pid, u64)> for VClock {
+    fn from_iter<T: IntoIterator<Item = (Pid, u64)>>(iter: T) -> VClock {
+        let mut c = VClock::new();
+        for (p, v) in iter {
+            c.set(p, v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(pairs: &[(u32, u64)]) -> VClock {
+        pairs.iter().map(|&(p, v)| (Pid(p), v)).collect()
+    }
+
+    #[test]
+    fn zero_entries_are_not_stored() {
+        let mut c = VClock::new();
+        c.set(Pid(1), 5);
+        c.set(Pid(1), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.get(Pid(1)), 0);
+    }
+
+    #[test]
+    fn bump_increments() {
+        let mut c = VClock::new();
+        assert_eq!(c.bump(Pid(3)), 1);
+        assert_eq!(c.bump(Pid(3)), 2);
+        assert_eq!(c.get(Pid(3)), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let mut a = vc(&[(1, 5), (2, 1)]);
+        a.merge(&vc(&[(1, 3), (2, 4), (3, 1)]));
+        assert_eq!(a, vc(&[(1, 5), (2, 4), (3, 1)]));
+    }
+
+    #[test]
+    fn compare_covers_all_cases() {
+        assert_eq!(vc(&[]).compare(&vc(&[])), VOrd::Equal);
+        assert_eq!(vc(&[(1, 1)]).compare(&vc(&[(1, 2)])), VOrd::Before);
+        assert_eq!(vc(&[(1, 3)]).compare(&vc(&[(1, 2)])), VOrd::After);
+        assert_eq!(
+            vc(&[(1, 1)]).compare(&vc(&[(2, 1)])),
+            VOrd::Concurrent
+        );
+    }
+
+    #[test]
+    fn sum_increases_along_causal_chains() {
+        let a = vc(&[(1, 1)]);
+        let mut b = a.clone();
+        b.bump(Pid(2));
+        assert!(b.sum() > a.sum());
+    }
+
+    #[test]
+    fn delivery_condition_next_from_sender() {
+        // Receiver has delivered 2 messages from p1, 1 from p2.
+        let delivered = vc(&[(1, 2), (2, 1)]);
+        // Next message from p1 carries vt[p1]=3 (counting itself).
+        assert!(delivered.deliverable(Pid(1), &vc(&[(1, 3), (2, 1)])));
+        // A message from the future (vt[p1]=4) must wait.
+        assert!(!delivered.deliverable(Pid(1), &vc(&[(1, 4)])));
+        // A message depending on an undelivered message from p3 must wait.
+        assert!(!delivered.deliverable(Pid(1), &vc(&[(1, 3), (3, 1)])));
+        // A duplicate (vt[p1]=2) is not deliverable.
+        assert!(!delivered.deliverable(Pid(1), &vc(&[(1, 2)])));
+    }
+
+    #[test]
+    fn delivery_condition_first_message() {
+        let empty = VClock::new();
+        assert!(empty.deliverable(Pid(9), &vc(&[(9, 1)])));
+        assert!(!empty.deliverable(Pid(9), &vc(&[(9, 1), (4, 2)])));
+    }
+
+    #[test]
+    fn from_iterator_and_iter_round_trip() {
+        let c = vc(&[(1, 1), (5, 9)]);
+        let pairs: Vec<(Pid, u64)> = c.iter().collect();
+        assert_eq!(pairs, vec![(Pid(1), 1), (Pid(5), 9)]);
+    }
+
+    #[test]
+    fn storage_bytes_tracks_entries() {
+        assert_eq!(vc(&[]).storage_bytes(), 0);
+        assert_eq!(vc(&[(1, 1), (2, 2)]).storage_bytes(), 24);
+    }
+}

@@ -1,0 +1,113 @@
+//! Identifier scheme for large groups.
+//!
+//! Each large group owns a 32-bit namespace of underlying `isis-core` group
+//! ids: the leader group at slot 0, leaf groups at slots minted by the
+//! leader. Plain (non-hierarchical) groups can keep using small raw ids
+//! without collision because large-group ids start at 1.
+
+use std::fmt;
+
+use isis_core::GroupId;
+
+/// Names a large (hierarchical) group.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LargeGroupId(pub u32);
+
+impl LargeGroupId {
+    /// The underlying group id of this large group's *leader group* — the
+    /// resilient small group that manages the hierarchy (section 3 of the
+    /// paper: "a new resilient group, called the group leader").
+    pub fn leader_gid(self) -> GroupId {
+        assert!(self.0 >= 1, "large group ids start at 1");
+        GroupId((self.0 as u64) << 32)
+    }
+
+    /// The underlying group id of leaf number `slot` (slots start at 1).
+    pub fn leaf_gid(self, slot: u32) -> GroupId {
+        assert!(self.0 >= 1, "large group ids start at 1");
+        assert!(slot >= 1, "leaf slots start at 1");
+        GroupId(((self.0 as u64) << 32) | slot as u64)
+    }
+
+    /// Recovers the large group a low-level gid belongs to, if any.
+    pub fn of_gid(gid: GroupId) -> Option<LargeGroupId> {
+        let hi = (gid.0 >> 32) as u32;
+        if hi >= 1 {
+            Some(LargeGroupId(hi))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `gid` is this large group's leader group.
+    pub fn is_leader_gid(self, gid: GroupId) -> bool {
+        gid == self.leader_gid()
+    }
+
+    /// Whether `gid` is a leaf of this large group.
+    pub fn is_leaf_gid(self, gid: GroupId) -> bool {
+        LargeGroupId::of_gid(gid) == Some(self) && (gid.0 & 0xFFFF_FFFF) >= 1
+    }
+}
+
+impl fmt::Debug for LargeGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LargeGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifies one large-group broadcast: origin plus origin-local sequence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LbcastId {
+    /// Originating process.
+    pub origin: now_sim::Pid,
+    /// Origin-local sequence number (1-based).
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gid_namespace_round_trips() {
+        let l = LargeGroupId(3);
+        assert_eq!(LargeGroupId::of_gid(l.leader_gid()), Some(l));
+        assert_eq!(LargeGroupId::of_gid(l.leaf_gid(7)), Some(l));
+        assert!(l.is_leader_gid(l.leader_gid()));
+        assert!(!l.is_leaf_gid(l.leader_gid()));
+        assert!(l.is_leaf_gid(l.leaf_gid(1)));
+        assert!(!l.is_leaf_gid(LargeGroupId(4).leaf_gid(1)));
+    }
+
+    #[test]
+    fn plain_group_ids_are_outside_the_namespace() {
+        assert_eq!(LargeGroupId::of_gid(GroupId(1)), None);
+        assert_eq!(LargeGroupId::of_gid(GroupId(0xFFFF_FFFF)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 1")]
+    fn lgid_zero_is_reserved() {
+        let _ = LargeGroupId(0).leader_gid();
+    }
+
+    #[test]
+    #[should_panic(expected = "slots start at 1")]
+    fn leaf_slot_zero_is_the_leader() {
+        let _ = LargeGroupId(1).leaf_gid(0);
+    }
+
+    #[test]
+    fn distinct_leaves_get_distinct_gids() {
+        let l = LargeGroupId(2);
+        assert_ne!(l.leaf_gid(1), l.leaf_gid(2));
+        assert_ne!(l.leaf_gid(1), LargeGroupId(3).leaf_gid(1));
+    }
+}

@@ -1,0 +1,58 @@
+//! `isis-hier` — hierarchical process groups: the contribution of
+//! Cooper & Birman, "Supporting Large Scale Applications on Networks of
+//! Workstations" (1989).
+//!
+//! A *large group* (`size > fanout ≥ resiliency`) is organised as many
+//! small, resilient *leaf subgroups* (plain `isis-core` groups) plus a
+//! resilient *leader group* that manages the structure. The design goals,
+//! all taken from section 3 of the paper and verified by this crate's
+//! tests and the workspace's experiments:
+//!
+//! - **Bounded failure scope** — "any single process failure results in a
+//!   broadcast to a bounded number of other processes": a member crash
+//!   triggers a view change only within its leaf; total leaf failure
+//!   informs only the parent (and through it the leader).
+//! - **Bounded views** — "a complete list of the processes in a large
+//!   group is not explicitly stored anywhere": members store a leaf view,
+//!   representatives an `O(fanout)` routing slice, only the leader group
+//!   the leaf list.
+//! - **Bounded fanout** — the multistage tree broadcast contacts at most
+//!   `fanout` child leaves per representative, with `resiliency` acks
+//!   before success is reported to the initiator.
+//! - **Self-management** — the leader splits oversized leaves, merges
+//!   undersized ones, and repairs total leaf failures.
+//!
+//! # Examples
+//!
+//! ```
+//! use isis_hier::config::LargeGroupConfig;
+//! use isis_hier::harness::large_cluster;
+//! use now_sim::SimDuration;
+//!
+//! let mut c = large_cluster(20, LargeGroupConfig::new(2, 3), 7);
+//! let origin = c.members[0];
+//! c.lbcast(origin, "hello-everyone");
+//! c.run_for(SimDuration::from_secs(20));
+//! for (_, log) in c.lbcast_logs() {
+//!     assert_eq!(log, vec!["hello-everyone".to_string()]);
+//! }
+//! ```
+
+pub mod business;
+pub mod config;
+pub mod harness;
+pub mod ids;
+pub mod leader;
+pub mod member;
+pub mod msg;
+pub mod name;
+pub mod tree;
+pub mod view;
+
+pub use business::{LargeApp, LargeOp, LargeUplink};
+pub use config::LargeGroupConfig;
+pub use ids::{LargeGroupId, LbcastId};
+pub use member::HierApp;
+pub use name::{NameMsg, NameService};
+pub use msg::{CtlMsg, HierPayload, HierState, LbcastStatus, LeaderCmd, TreeMsg};
+pub use view::{HierView, LeafDesc, RoutingSlice};

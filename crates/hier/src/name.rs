@@ -1,0 +1,294 @@
+//! The group name service (section 5 of the paper: "we are also
+//! addressing the issues of group name-to-address mapping in the large
+//! scale setting").
+//!
+//! A small resilient ISIS group of name servers replicates the mapping
+//! *symbolic name → (large group id, leader contacts)* via ABCAST, so
+//! every server answers identically and the service survives
+//! `resiliency - 1` server failures. Clients resolve with a direct
+//! request/reply against any server and cache the result; leader-contact
+//! churn is handled by re-resolution (contacts are only entry points —
+//! the admission protocol tolerates stale ones by retrying).
+
+use std::collections::{BTreeMap, HashMap};
+
+use now_sim::Pid;
+
+use isis_core::{Application, CastKind, GroupId, GroupView, Uplink};
+
+use crate::ids::LargeGroupId;
+
+/// Wire payload of the name service.
+#[derive(Clone, Debug)]
+pub enum NameMsg {
+    /// Replicated registration (ABCAST within the server group).
+    Bind {
+        name: String,
+        lgid: LargeGroupId,
+        leader_contacts: Vec<Pid>,
+    },
+    /// Replicated removal.
+    Unbind { name: String },
+    /// Client → any server (direct).
+    Resolve { name: String, ticket: u64 },
+    /// Server → client (direct).
+    Resolved {
+        ticket: u64,
+        entry: Option<(LargeGroupId, Vec<Pid>)>,
+    },
+}
+
+/// A name-server member or a resolving client (one application serves
+/// both roles, like the other tools).
+#[derive(Default)]
+pub struct NameService {
+    /// The server group (None until the first view).
+    group: Option<GroupId>,
+    /// The replicated bindings.
+    table: BTreeMap<String, (LargeGroupId, Vec<Pid>)>,
+    // Client side.
+    next_ticket: u64,
+    /// Answers received: ticket → entry.
+    pub answers: HashMap<u64, Option<(LargeGroupId, Vec<Pid>)>>,
+}
+
+impl NameService {
+    /// Creates an empty instance.
+    pub fn new() -> NameService {
+        NameService::default()
+    }
+
+    /// Server: registers (or overwrites) a binding, replicated to every
+    /// server in total order.
+    pub fn bind(
+        &mut self,
+        name: &str,
+        lgid: LargeGroupId,
+        leader_contacts: Vec<Pid>,
+        up: &mut Uplink<'_, '_, Self>,
+    ) {
+        let Some(gid) = self.group else { return };
+        up.cast(
+            gid,
+            CastKind::Total,
+            NameMsg::Bind {
+                name: name.to_owned(),
+                lgid,
+                leader_contacts,
+            },
+        );
+    }
+
+    /// Server: removes a binding.
+    pub fn unbind(&mut self, name: &str, up: &mut Uplink<'_, '_, Self>) {
+        let Some(gid) = self.group else { return };
+        up.cast(
+            gid,
+            CastKind::Total,
+            NameMsg::Unbind {
+                name: name.to_owned(),
+            },
+        );
+    }
+
+    /// Client: asks `server` to resolve `name`; the reply lands in
+    /// [`NameService::answers`] under the returned ticket.
+    pub fn resolve(&mut self, server: Pid, name: &str, up: &mut Uplink<'_, '_, Self>) -> u64 {
+        self.next_ticket += 1;
+        let ticket = self.next_ticket;
+        up.direct(
+            server,
+            NameMsg::Resolve {
+                name: name.to_owned(),
+                ticket,
+            },
+        );
+        ticket
+    }
+
+    /// The replicated table (server side), for inspection.
+    pub fn table(&self) -> &BTreeMap<String, (LargeGroupId, Vec<Pid>)> {
+        &self.table
+    }
+}
+
+impl Application for NameService {
+    type Payload = NameMsg;
+    type State = Vec<(String, LargeGroupId, Vec<Pid>)>;
+
+    fn on_deliver(
+        &mut self,
+        _gid: GroupId,
+        _from: Pid,
+        _kind: CastKind,
+        payload: &NameMsg,
+        _up: &mut Uplink<'_, '_, Self>,
+    ) {
+        match payload {
+            NameMsg::Bind {
+                name,
+                lgid,
+                leader_contacts,
+            } => {
+                self.table
+                    .insert(name.clone(), (*lgid, leader_contacts.clone()));
+            }
+            NameMsg::Unbind { name } => {
+                self.table.remove(name);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_direct(&mut self, from: Pid, payload: &NameMsg, up: &mut Uplink<'_, '_, Self>) {
+        match payload {
+            NameMsg::Resolve { name, ticket } => {
+                up.direct(
+                    from,
+                    NameMsg::Resolved {
+                        ticket: *ticket,
+                        entry: self.table.get(name).cloned(),
+                    },
+                );
+            }
+            NameMsg::Resolved { ticket, entry } => {
+                self.answers.insert(*ticket, entry.clone());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_view(&mut self, view: &GroupView, _joined: bool, _up: &mut Uplink<'_, '_, Self>) {
+        self.group = Some(view.gid);
+    }
+
+    fn export_state(&self, _gid: GroupId) -> Self::State {
+        self.table
+            .iter()
+            .map(|(n, (l, c))| (n.clone(), *l, c.clone()))
+            .collect()
+    }
+
+    fn import_state(&mut self, _gid: GroupId, state: Self::State) {
+        self.table = state
+            .into_iter()
+            .map(|(n, l, c)| (n, (l, c)))
+            .collect();
+    }
+
+    fn payload_bytes(p: &NameMsg) -> usize {
+        16 + match p {
+            NameMsg::Bind {
+                name,
+                leader_contacts,
+                ..
+            } => name.len() + 4 * leader_contacts.len(),
+            NameMsg::Unbind { name } | NameMsg::Resolve { name, .. } => name.len(),
+            NameMsg::Resolved { entry, .. } => {
+                entry.as_ref().map_or(1, |(_, c)| 12 + 4 * c.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_core::testutil::generic_cluster;
+    use isis_core::{IsisConfig, IsisProcess};
+    use now_sim::{Sim, SimConfig, SimDuration};
+
+    const NS_GID: GroupId = GroupId(100);
+
+    fn servers(n: usize, seed: u64) -> (Sim<IsisProcess<NameService>>, Vec<Pid>) {
+        generic_cluster(n, NS_GID, IsisConfig::default(), SimConfig::ideal(seed), |_| {
+            NameService::new()
+        })
+    }
+
+    #[test]
+    fn bind_replicates_and_resolves_from_any_server() {
+        let (mut sim, srv) = servers(3, 1);
+        let lgid = LargeGroupId(7);
+        sim.invoke(srv[0], move |p, ctx| {
+            p.with_app(ctx, |app, up| {
+                app.bind("trading-floor", lgid, vec![Pid(40), Pid(41)], up)
+            });
+        });
+        sim.run_for(SimDuration::from_secs(2));
+        for &s in &srv {
+            assert_eq!(
+                sim.process(s).app().table().get("trading-floor"),
+                Some(&(lgid, vec![Pid(40), Pid(41)]))
+            );
+        }
+        // A client resolves against the *last* server.
+        let nd = sim.add_nodes(1)[0];
+        let client = sim.spawn(nd, IsisProcess::with_defaults(NameService::new()));
+        let target = srv[2];
+        let ticket = sim
+            .invoke(client, move |p, ctx| {
+                p.with_app(ctx, |app, up| app.resolve(target, "trading-floor", up))
+            })
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.process(client).app().answers.get(&ticket),
+            Some(&Some((lgid, vec![Pid(40), Pid(41)])))
+        );
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_none() {
+        let (mut sim, srv) = servers(2, 3);
+        let nd = sim.add_nodes(1)[0];
+        let client = sim.spawn(nd, IsisProcess::with_defaults(NameService::new()));
+        let target = srv[0];
+        let ticket = sim
+            .invoke(client, move |p, ctx| {
+                p.with_app(ctx, |app, up| app.resolve(target, "nope", up))
+            })
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.process(client).app().answers.get(&ticket), Some(&None));
+    }
+
+    #[test]
+    fn unbind_removes_everywhere_and_survives_server_failure() {
+        let (mut sim, srv) = servers(3, 5);
+        let lgid = LargeGroupId(9);
+        sim.invoke(srv[0], move |p, ctx| {
+            p.with_app(ctx, |app, up| app.bind("factory", lgid, vec![Pid(1)], up));
+        });
+        sim.run_for(SimDuration::from_secs(1));
+        sim.crash(srv[0]);
+        sim.run_for(SimDuration::from_secs(10));
+        // Survivors still serve the binding, then agree on its removal.
+        sim.invoke(srv[1], move |p, ctx| {
+            p.with_app(ctx, |app, up| app.unbind("factory", up));
+        });
+        sim.run_for(SimDuration::from_secs(2));
+        for &s in &srv[1..] {
+            assert!(sim.process(s).app().table().is_empty());
+        }
+    }
+
+    #[test]
+    fn joining_server_inherits_the_table() {
+        let (mut sim, srv) = servers(2, 7);
+        let lgid = LargeGroupId(4);
+        sim.invoke(srv[0], move |p, ctx| {
+            p.with_app(ctx, |app, up| app.bind("a", lgid, vec![Pid(9)], up));
+        });
+        sim.run_for(SimDuration::from_secs(1));
+        let nd = sim.add_nodes(1)[0];
+        let newbie = sim.spawn(nd, IsisProcess::with_defaults(NameService::new()));
+        let contact = srv[0];
+        sim.invoke(newbie, move |p, ctx| p.join(NS_GID, contact, ctx).unwrap());
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(
+            sim.process(newbie).app().table().get("a"),
+            Some(&(lgid, vec![Pid(9)]))
+        );
+    }
+}

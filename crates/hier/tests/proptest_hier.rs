@@ -1,0 +1,110 @@
+//! Property-based tests: the hierarchy's structural invariants and the
+//! tree broadcast's agreement property must hold under random schedules of
+//! broadcasts, crashes, and pauses.
+
+use isis_hier::config::LargeGroupConfig;
+use isis_hier::harness::large_cluster_lan;
+use now_sim::SimDuration;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Lbcast { who: usize },
+    Crash { who: usize },
+    Wait { ms: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0usize..64).prop_map(|who| Op::Lbcast { who }),
+        1 => (0usize..64).prop_map(|who| Op::Crash { who }),
+        3 => (1u64..500).prop_map(|ms| Op::Wait { ms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hierarchy_invariants_under_churn(
+        ops in proptest::collection::vec(op_strategy(), 1..25),
+        seed in 0u64..10_000,
+    ) {
+        const N: usize = 20;
+        const MAX_CRASHES: usize = 3;
+        let mut c = large_cluster_lan(N, LargeGroupConfig::new(2, 3), seed);
+        let mut crashes = 0;
+        let mut expected: Vec<String> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Lbcast { who } => {
+                    let alive = c.live_members();
+                    let origin = alive[who % alive.len()];
+                    let payload = format!("b{i}");
+                    if c.lbcast(origin, &payload).is_some() {
+                        expected.push(payload);
+                    }
+                }
+                Op::Crash { who } => {
+                    if crashes < MAX_CRASHES {
+                        let alive = c.live_members();
+                        let victim = alive[who % alive.len()];
+                        c.sim.crash(victim);
+                        crashes += 1;
+                    }
+                }
+                Op::Wait { ms } => c.run_for(SimDuration::from_millis(*ms)),
+            }
+        }
+        c.run_for(SimDuration::from_secs(120));
+
+        // Invariant 1: every broadcast from a *surviving* origin reaches
+        // every surviving member exactly once.
+        let logs = c.lbcast_logs();
+        let survivors: Vec<now_sim::Pid> = c.live_members();
+        for payload in &expected {
+            // Identify the origin from the records of any holder.
+            let origin = logs
+                .iter()
+                .flat_map(|(m, _)| {
+                    c.sim.process(*m).app().biz().lbcasts.iter().filter_map(|(_, o, p)| {
+                        if p == payload { Some(*o) } else { None }
+                    })
+                })
+                .next();
+            let origin_alive = origin.is_some_and(|o| survivors.contains(&o));
+            if origin_alive {
+                for (m, log) in &logs {
+                    prop_assert!(
+                        log.contains(payload),
+                        "member {} missed {} (origin alive)", m, payload
+                    );
+                }
+            }
+        }
+        for (m, log) in &logs {
+            let mut sorted = log.clone();
+            sorted.sort();
+            let n0 = sorted.len();
+            sorted.dedup();
+            prop_assert_eq!(n0, sorted.len(), "duplicate delivery at {}", m);
+        }
+
+        // Invariant 2: the leader's structural bounds hold after settling.
+        let v = c.leader_hier_view().expect("leader view").clone();
+        for leaf in &v.leaves {
+            prop_assert!(leaf.size <= c.cfg.max_leaf, "oversize leaf survived churn");
+        }
+
+        // Invariant 3: surviving members all belong to leaves the leader
+        // knows about.
+        for &m in &survivors {
+            if let Some(leaf) = c.sim.process(m).app().leaf_of(c.lgid) {
+                prop_assert!(
+                    v.index_of(leaf).is_some(),
+                    "member {} stranded in unknown leaf {:?}", m, leaf
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests of the hierarchy's pure structure: the implicit tree is
+//! a well-formed spanning tree for any (leaves, fanout), slices are
+//! bounded, and slice extraction is consistent with the tree relations.
+
+use isis_core::GroupId;
+use isis_hier::{HierView, LargeGroupId, LeafDesc};
+use now_sim::Pid;
+use proptest::prelude::*;
+
+fn view(nleaves: usize, fanout: usize, resiliency: usize) -> HierView {
+    let lgid = LargeGroupId(1);
+    HierView {
+        lgid,
+        epoch: 1,
+        fanout,
+        resiliency,
+        leaves: (0..nleaves)
+            .map(|i| LeafDesc {
+                gid: lgid.leaf_gid(i as u32 + 1),
+                contacts: (0..resiliency.min(4) as u32)
+                    .map(|k| Pid(i as u32 * 100 + k))
+                    .collect(),
+                size: 5,
+            })
+            .collect(),
+        leader_contacts: vec![Pid(9_000), Pid(9_001)],
+    }
+}
+
+proptest! {
+    #[test]
+    fn tree_is_a_spanning_tree(nleaves in 1usize..300, fanout in 1usize..12) {
+        let v = view(nleaves, fanout, 3);
+        // Every non-root has exactly one parent, and parent/children are
+        // mutually consistent.
+        let mut reached = vec![false; nleaves];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            prop_assert!(!reached[i], "cycle at {}", i);
+            reached[i] = true;
+            for c in v.children(i) {
+                prop_assert_eq!(v.parent(c), Some(i));
+                prop_assert!(c < nleaves);
+                stack.push(c);
+            }
+        }
+        prop_assert!(reached.iter().all(|&r| r), "unreachable leaves");
+    }
+
+    #[test]
+    fn children_counts_respect_fanout(nleaves in 1usize..300, fanout in 1usize..12) {
+        let v = view(nleaves, fanout, 2);
+        for i in 0..nleaves {
+            prop_assert!(v.children(i).len() <= fanout);
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic(nleaves in 1usize..1_000, fanout in 2usize..12) {
+        let v = view(nleaves, fanout, 2);
+        let d = v.depth();
+        // depth ≤ log_fanout(nleaves) + 2 for an array-embedded tree.
+        let bound = ((nleaves as f64).ln() / (fanout as f64).ln()).ceil() as usize + 2;
+        prop_assert!(d <= bound, "depth {} exceeds {} for {} leaves fanout {}", d, bound, nleaves, fanout);
+    }
+
+    #[test]
+    fn slices_are_bounded_and_consistent(
+        nleaves in 1usize..200,
+        fanout in 1usize..10,
+        idx_seed in any::<usize>(),
+    ) {
+        let v = view(nleaves, fanout, 3);
+        let i = idx_seed % nleaves;
+        let s = v.slice_for(i);
+        prop_assert_eq!(s.my_index, i);
+        prop_assert_eq!(s.my_gid, v.leaves[i].gid);
+        prop_assert_eq!(s.children.len(), v.children(i).len());
+        prop_assert!(s.children.len() <= fanout);
+        prop_assert_eq!(s.parent.is_none(), i == 0);
+        if let Some(p) = &s.parent {
+            prop_assert_eq!(p.gid, v.leaves[v.parent(i).unwrap()].gid);
+        }
+        // Slice storage is bounded by fanout, never by nleaves.
+        let per_child = 8 + 4 * 4 + 8 + 32; // generous per-LeafDesc bound
+        prop_assert!(s.storage_bytes() <= 64 + (fanout + 1) * per_child + 4 * 8);
+    }
+}

@@ -1,0 +1,116 @@
+//! Scale tests: the hierarchy at a couple of hundred members — formation,
+//! the paper's storage and fanout bounds, broadcast fan-in from many
+//! origins, and heavy incremental growth.
+
+use isis_hier::config::LargeGroupConfig;
+use isis_hier::harness::{large_cluster, RecorderBiz};
+use isis_hier::HierApp;
+use isis_core::{IsisConfig, IsisProcess};
+use now_sim::SimDuration;
+
+#[test]
+fn two_hundred_members_form_and_broadcast() {
+    let cfg = LargeGroupConfig::new(3, 4);
+    let mut c = large_cluster(200, cfg.clone(), 1);
+    let v = c.leader_hier_view().unwrap().clone();
+    assert_eq!(v.total_members(), 200);
+    assert!(v.num_leaves() >= 200 / cfg.max_leaf);
+    for leaf in &v.leaves {
+        assert!(leaf.size <= cfg.max_leaf);
+    }
+
+    // One broadcast reaches all 200 exactly once.
+    c.sim.stats_mut().enable_fanout_tracking();
+    c.sim.stats_mut().reset_window();
+    c.lbcast(c.members[123], "fan-out");
+    c.run_for(SimDuration::from_secs(30));
+    for (m, log) in c.lbcast_logs() {
+        assert_eq!(log, vec!["fan-out".to_string()], "at {m}");
+    }
+    // The fanout bound holds at scale (window includes heartbeats, which
+    // stay within the same leaf/leader neighbourhood).
+    let bound = cfg.fanout + cfg.max_leaf + 4;
+    assert!(
+        c.sim.stats().max_distinct_destinations() <= bound,
+        "max fanout {} exceeds {bound}",
+        c.sim.stats().max_distinct_destinations()
+    );
+}
+
+#[test]
+fn many_concurrent_origins_agree() {
+    let mut c = large_cluster(80, LargeGroupConfig::new(2, 4), 3);
+    for i in 0..20 {
+        let origin = c.members[(i * 13) % 80];
+        c.lbcast(origin, &format!("b{i}"));
+    }
+    c.run_for(SimDuration::from_secs(60));
+    c.assert_uniform_lbcast_logs();
+    let (_, log) = &c.lbcast_logs()[0];
+    assert_eq!(log.len(), 20);
+}
+
+#[test]
+fn per_member_storage_stays_flat_from_50_to_200() {
+    let small = large_cluster(50, LargeGroupConfig::new(3, 4), 5);
+    let big = large_cluster(200, LargeGroupConfig::new(3, 4), 5);
+    let max_plain = |c: &isis_hier::harness::LargeCluster| {
+        c.members
+            .iter()
+            .filter(|&&m| !c.sim.process(m).app().is_rep(c.lgid))
+            .map(|&m| {
+                c.sim.process(m).total_membership_storage_bytes()
+                    + c.sim.process(m).app().hier_storage_bytes()
+            })
+            .max()
+            .unwrap()
+    };
+    let (s, b) = (max_plain(&small), max_plain(&big));
+    assert!(
+        b <= s + s / 2,
+        "plain-member storage grew with group size: {s} -> {b}"
+    );
+}
+
+#[test]
+fn growth_after_formation_keeps_invariants() {
+    // 40 members, then 40 more join one at a time under light broadcast
+    // traffic; the structure stays within its band and nothing is lost.
+    let cfg = LargeGroupConfig::new(2, 4);
+    let mut c = large_cluster(40, cfg.clone(), 7);
+    let lgid = c.lgid;
+    let contact = c.leaders[0];
+    let mut joined = Vec::new();
+    for i in 0..40 {
+        let nd = c.sim.add_nodes(1)[0];
+        let p = c.sim.spawn(
+            nd,
+            IsisProcess::new(
+                HierApp::with_timers(RecorderBiz::default(), cfg.clone()),
+                IsisConfig::default(),
+            ),
+        );
+        c.sim.invoke(p, move |proc_, ctx| {
+            proc_.with_app(ctx, move |app, up| app.join_large(lgid, contact, up));
+        });
+        joined.push(p);
+        if i % 8 == 0 {
+            let origin = c.members[i % 40];
+            c.lbcast(origin, &format!("during-{i}"));
+        }
+        c.run_for(SimDuration::from_millis(300));
+    }
+    c.members.extend(joined);
+    c.await_formation(SimDuration::from_secs(300));
+    let v = c.leader_hier_view().unwrap();
+    assert_eq!(v.total_members(), 80);
+    for leaf in &v.leaves {
+        assert!(leaf.size <= cfg.max_leaf, "oversize after growth");
+    }
+    // A final broadcast reaches all 80.
+    c.lbcast(c.members[79], "final");
+    c.run_for(SimDuration::from_secs(30));
+    for (m, log) in c.lbcast_logs() {
+        assert!(log.contains(&"final".to_string()), "member {m} missed it");
+    }
+}

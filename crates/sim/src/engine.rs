@@ -1,0 +1,858 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Sim`] owns a set of workstations ([`crate::ids::NodeId`]) hosting
+//! processes, a pending-event queue ordered by simulated time, a seeded RNG,
+//! and the global [`Stats`]. Everything is single-threaded and fully
+//! deterministic: two runs with the same seed and the same sequence of
+//! harness calls produce byte-identical statistics. Determinism is what lets
+//! the experiment harness make exact claims about message counts.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ids::{NodeId, Pid, SiteId, TimerId};
+use crate::net::{NetConfig, Partition};
+use crate::stats::{Observation, ObservationLog, Stats};
+use crate::time::{SimDuration, SimTime};
+
+/// Behaviour of a simulated process.
+///
+/// All processes in one simulation share a message type `Msg`; layered
+/// protocols embed their payloads in it. Callbacks receive a [`Ctx`] through
+/// which every externally visible effect (sends, timers, observations) must
+/// flow — this is what makes runs reproducible and measurable.
+pub trait Process: 'static {
+    /// The message type exchanged between processes in this simulation.
+    type Msg: Clone + std::fmt::Debug + 'static;
+
+    /// Invoked once when the process is spawned.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Invoked when a message is delivered.
+    fn on_message(&mut self, from: Pid, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Invoked when a timer set through [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _id: TimerId, _kind: u32, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Estimated wire size in bytes of a message, for the latency model and
+    /// byte counters. The default suits small control messages.
+    fn wire_size(_msg: &Self::Msg) -> usize {
+        64
+    }
+}
+
+/// Effect context passed to every process callback.
+///
+/// Effects are buffered and applied by the engine after the callback
+/// returns, so a callback observes a consistent snapshot of the world.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: Pid,
+    rng: &'a mut StdRng,
+    stats: &'a mut Stats,
+    obs: &'a mut ObservationLog,
+    next_timer: &'a mut u64,
+    actions: Vec<Action<M>>,
+}
+
+enum Action<M> {
+    Send { to: Pid, msg: M },
+    SetTimer { id: TimerId, kind: u32, at: SimTime },
+    CancelTimer(TimerId),
+    Halt,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The pid of the process being called.
+    pub fn me(&self) -> Pid {
+        self.me
+    }
+
+    /// Sends `msg` to `to`. Delivery is asynchronous and may fail if the
+    /// network drops the message or `to` crashes first.
+    pub fn send(&mut self, to: Pid, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends `msg` to every pid in `dsts` (a convenience multicast; each
+    /// destination counts as one message, exactly as the paper counts them).
+    pub fn multicast(&mut self, dsts: impl IntoIterator<Item = Pid>, msg: M)
+    where
+        M: Clone,
+    {
+        for d in dsts {
+            self.send(d, msg.clone());
+        }
+    }
+
+    /// Arms a timer that fires after `delay` with the caller-chosen `kind`
+    /// discriminator. Returns a handle usable with [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, kind: u32) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer {
+            id,
+            kind,
+            at: self.now + delay,
+        });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+
+    /// Halts the calling process (a voluntary, silent stop — used to model a
+    /// process leaving the system without protocol-level goodbye).
+    pub fn halt(&mut self) {
+        self.actions.push(Action::Halt);
+    }
+
+    /// Deterministic randomness for protocol-level choices.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Emits a labelled observation for the harness.
+    pub fn observe(&mut self, label: &str, value: f64) {
+        self.obs.push(Observation {
+            at: self.now,
+            by: self.me,
+            label: label.to_owned(),
+            value,
+        });
+    }
+
+    /// Adds one to a named global counter.
+    pub fn bump(&mut self, name: &str) {
+        self.stats.bump(name);
+    }
+
+    /// Records a sample in a named global series.
+    pub fn sample(&mut self, name: &str, v: f64) {
+        self.stats.sample(name, v);
+    }
+
+    /// Records a duration sample (milliseconds) in a named global series.
+    pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
+        self.stats.sample_duration(name, d);
+    }
+}
+
+enum Event<M> {
+    Start(Pid),
+    Deliver { to: Pid, from: Pid, msg: M },
+    Timer { pid: Pid, id: TimerId, kind: u32 },
+    Crash(Pid),
+    SetPartition(Partition),
+}
+
+struct Entry<M> {
+    at: SimTime,
+    seq: u64,
+    ev: Event<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Slot<P> {
+    proc: P,
+    node: NodeId,
+    alive: bool,
+}
+
+/// Simulation-wide configuration.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct SimConfig {
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// Network latency/loss model.
+    pub net: NetConfig,
+}
+
+
+impl SimConfig {
+    /// Deterministic, near-zero-latency configuration for protocol tests.
+    pub fn ideal(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            net: NetConfig::ideal(),
+        }
+    }
+
+    /// A realistic single-site LAN configuration.
+    pub fn lan(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// The simulator: a deterministic, single-threaded world of workstations.
+pub struct Sim<P: Process> {
+    cfg: SimConfig,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry<P::Msg>>>,
+    procs: Vec<Option<Slot<P>>>,
+    node_sites: Vec<SiteId>,
+    partition: Partition,
+    rng: StdRng,
+    stats: Stats,
+    obs: ObservationLog,
+    cancelled: HashSet<TimerId>,
+    next_timer: u64,
+    /// Per ordered (src, dst) pair: latest scheduled arrival, used to keep
+    /// channels FIFO when `NetConfig::fifo` is set.
+    channel_clock: std::collections::HashMap<(Pid, Pid), SimTime>,
+}
+
+impl<P: Process> Sim<P> {
+    /// Creates an empty world.
+    pub fn new(cfg: SimConfig) -> Sim<P> {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Sim {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: Vec::new(),
+            node_sites: Vec::new(),
+            partition: Partition::connected(),
+            rng,
+            stats: Stats::default(),
+            obs: ObservationLog::default(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            channel_clock: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Adds a workstation at `site` and returns its id.
+    pub fn add_node(&mut self, site: SiteId) -> NodeId {
+        let id = NodeId(self.node_sites.len() as u32);
+        self.node_sites.push(site);
+        id
+    }
+
+    /// Adds `n` workstations at site 0 and returns their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node(SiteId(0))).collect()
+    }
+
+    /// Spawns `proc` on `node`; its `on_start` runs at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    pub fn spawn(&mut self, node: NodeId, proc_: P) -> Pid {
+        assert!(
+            (node.0 as usize) < self.node_sites.len(),
+            "spawn on unknown {node:?}"
+        );
+        let pid = Pid(self.procs.len() as u32);
+        self.procs.push(Some(Slot {
+            proc: proc_,
+            node,
+            alive: true,
+        }));
+        self.stats.ensure_proc(pid);
+        self.push(self.now, Event::Start(pid));
+        pid
+    }
+
+    fn push(&mut self, at: SimTime, ev: Event<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable view of the run statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics (to enable tracking or reset windows).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// The observation log.
+    pub fn observations(&self) -> &ObservationLog {
+        &self.obs
+    }
+
+    /// Mutable observation log (for clearing between measurement windows).
+    pub fn observations_mut(&mut self) -> &mut ObservationLog {
+        &mut self.obs
+    }
+
+    /// Immutable access to a process's state, alive or crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn process(&self, pid: Pid) -> &P {
+        &self.slot(pid).proc
+    }
+
+    /// Mutable access to a process's *state only* — effects are impossible
+    /// without a [`Ctx`]; prefer [`Sim::invoke`] to drive protocol actions.
+    pub fn process_mut(&mut self, pid: Pid) -> &mut P {
+        &mut self.procs[pid.0 as usize]
+            .as_mut()
+            .expect("unknown pid")
+            .proc
+    }
+
+    fn slot(&self, pid: Pid) -> &Slot<P> {
+        self.procs[pid.0 as usize].as_ref().expect("unknown pid")
+    }
+
+    /// Whether `pid` is alive (spawned and not crashed or halted).
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs
+            .get(pid.0 as usize)
+            .and_then(Option::as_ref)
+            .is_some_and(|s| s.alive)
+    }
+
+    /// The node hosting `pid`.
+    pub fn node_of(&self, pid: Pid) -> NodeId {
+        self.slot(pid).node
+    }
+
+    /// The site of a node.
+    pub fn site_of(&self, node: NodeId) -> SiteId {
+        self.node_sites[node.0 as usize]
+    }
+
+    /// All currently alive pids, in pid order.
+    pub fn alive_pids(&self) -> Vec<Pid> {
+        (0..self.procs.len() as u32)
+            .map(Pid)
+            .filter(|p| self.is_alive(*p))
+            .collect()
+    }
+
+    /// Number of spawned processes (alive or not).
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Harness randomness drawn from the same deterministic stream.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Crashes `pid` immediately: it stops executing and every in-flight
+    /// message or timer addressed to it is silently discarded.
+    pub fn crash(&mut self, pid: Pid) {
+        if let Some(s) = self.procs[pid.0 as usize].as_mut() {
+            s.alive = false;
+        }
+    }
+
+    /// Crashes every process hosted on `node` (a workstation power failure).
+    pub fn crash_node(&mut self, node: NodeId) {
+        for s in self.procs.iter_mut().flatten() {
+            if s.node == node {
+                s.alive = false;
+            }
+        }
+    }
+
+    /// Schedules a crash of `pid` at absolute time `at`.
+    pub fn schedule_crash(&mut self, pid: Pid, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule a crash in the past");
+        self.push(at, Event::Crash(pid));
+    }
+
+    /// Replaces the network partition state immediately.
+    pub fn set_partition(&mut self, p: Partition) {
+        self.partition = p;
+    }
+
+    /// Schedules a partition change at absolute time `at`.
+    pub fn schedule_partition(&mut self, at: SimTime, p: Partition) {
+        assert!(at >= self.now, "cannot schedule a partition in the past");
+        self.push(at, Event::SetPartition(p));
+    }
+
+    /// Reads the current partition state.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Invokes `f` on a live process with a full effect context, as though
+    /// an external client had prodded it. This is how the harness drives
+    /// protocol entry points (join a group, start a broadcast, ...).
+    ///
+    /// Returns `None` without calling `f` if the process is not alive.
+    pub fn invoke<R>(
+        &mut self,
+        pid: Pid,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
+    ) -> Option<R> {
+        if !self.is_alive(pid) {
+            return None;
+        }
+        let mut slot = self.procs[pid.0 as usize].take().expect("unknown pid");
+        let mut ctx = Ctx {
+            now: self.now,
+            me: pid,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            obs: &mut self.obs,
+            next_timer: &mut self.next_timer,
+            actions: Vec::new(),
+        };
+        let r = f(&mut slot.proc, &mut ctx);
+        let actions = ctx.actions;
+        self.procs[pid.0 as usize] = Some(slot);
+        self.apply_actions(pid, actions);
+        Some(r)
+    }
+
+    fn apply_actions(&mut self, from: Pid, actions: Vec<Action<P::Msg>>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.route(from, to, msg),
+                Action::SetTimer { id, kind, at } => {
+                    self.push(at, Event::Timer { pid: from, id, kind });
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+                Action::Halt => {
+                    if let Some(s) = self.procs[from.0 as usize].as_mut() {
+                        s.alive = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, from: Pid, to: Pid, msg: P::Msg) {
+        let bytes = P::wire_size(&msg);
+        self.stats.record_send(from, to, bytes);
+        if (to.0 as usize) >= self.procs.len() {
+            // Message to a pid that does not exist (e.g. stale address).
+            self.stats.record_drop(to);
+            return;
+        }
+        let (src_node, dst_node) = (self.slot(from).node, self.slot(to).node);
+        let latency = if from == to || src_node == dst_node {
+            self.cfg.net.loopback
+        } else {
+            let same_site = self.site_of(src_node) == self.site_of(dst_node);
+            let model = if same_site {
+                self.cfg.net.local.clone()
+            } else {
+                self.cfg.net.long_distance.clone()
+            };
+            if model.sample_drop(&mut self.rng) {
+                self.stats.record_drop(to);
+                return;
+            }
+            model.sample_latency(bytes, &mut self.rng)
+        };
+        let mut arrival = self.now + latency;
+        if self.cfg.net.fifo {
+            let clock = self
+                .channel_clock
+                .entry((from, to))
+                .or_insert(SimTime::ZERO);
+            if arrival <= *clock {
+                arrival = *clock + SimDuration::from_micros(1);
+            }
+            *clock = arrival;
+        }
+        self.push(arrival, Event::Deliver { to, from, msg });
+    }
+
+    /// Executes the next pending event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(Reverse(entry)) = self.queue.pop() else {
+                return false;
+            };
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            match entry.ev {
+                Event::Start(pid) => {
+                    if self.is_alive(pid) {
+                        self.invoke(pid, |p, ctx| p.on_start(ctx));
+                    }
+                }
+                Event::Deliver { to, from, msg } => {
+                    if !self.is_alive(to) {
+                        self.stats.record_drop(to);
+                        continue;
+                    }
+                    let src_node = if (from.0 as usize) < self.procs.len() && !from.is_external()
+                    {
+                        Some(self.slot(from).node)
+                    } else {
+                        None
+                    };
+                    // Partition is evaluated at delivery time: messages in
+                    // flight when the partition forms are lost, like frames
+                    // on a cut cable.
+                    if let Some(sn) = src_node {
+                        let dn = self.slot(to).node;
+                        if !self.partition.connected_pair(sn, dn) {
+                            self.stats.record_drop(to);
+                            continue;
+                        }
+                    }
+                    self.stats.record_delivery(to);
+                    self.invoke(to, |p, ctx| p.on_message(from, msg, ctx));
+                }
+                Event::Timer { pid, id, kind } => {
+                    if self.cancelled.remove(&id) {
+                        continue;
+                    }
+                    if self.is_alive(pid) {
+                        self.invoke(pid, |p, ctx| p.on_timer(id, kind, ctx));
+                    }
+                }
+                Event::Crash(pid) => self.crash(pid),
+                Event::SetPartition(p) => self.partition = p,
+            }
+            return true;
+        }
+    }
+
+    /// Runs until the clock reaches `t` (events at exactly `t` included) or
+    /// the queue drains.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(e)) = self.queue.peek() {
+            if e.at > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until no events remain or the clock would pass `limit`.
+    /// Returns `true` if the system quiesced (queue drained) within `limit`.
+    ///
+    /// Note: protocols with periodic timers (heartbeats) never quiesce; use
+    /// [`Sim::run_until`] for those.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) -> bool {
+        while let Some(Reverse(e)) = self.queue.peek() {
+            if e.at > limit {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    /// Injects a message from the harness pseudo-client to `to`, delivered
+    /// after the loopback latency.
+    pub fn inject(&mut self, to: Pid, msg: P::Msg) {
+        let bytes = P::wire_size(&msg);
+        self.stats.record_send(Pid::EXTERNAL, to, bytes);
+        self.push(
+            self.now + self.cfg.net.loopback,
+            Event::Deliver {
+                to,
+                from: Pid::EXTERNAL,
+                msg,
+            },
+        );
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy process: replies "pong" to "ping", counts deliveries, and can
+    /// fire timers.
+    #[derive(Default)]
+    struct Echo {
+        got: Vec<(Pid, String)>,
+        timer_fired: Vec<u32>,
+    }
+
+    impl Process for Echo {
+        type Msg = String;
+
+        fn on_message(&mut self, from: Pid, msg: String, ctx: &mut Ctx<'_, String>) {
+            if msg == "ping" {
+                ctx.send(from, "pong".into());
+            }
+            self.got.push((from, msg));
+        }
+
+        fn on_timer(&mut self, _id: TimerId, kind: u32, _ctx: &mut Ctx<'_, String>) {
+            self.timer_fired.push(kind);
+        }
+    }
+
+    fn two_procs() -> (Sim<Echo>, Pid, Pid) {
+        let mut sim = Sim::new(SimConfig::ideal(1));
+        let n = sim.add_nodes(2);
+        let a = sim.spawn(n[0], Echo::default());
+        let b = sim.spawn(n[1], Echo::default());
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut sim, a, b) = two_procs();
+        sim.invoke(a, |_, ctx| ctx.send(b, "ping".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.process(b).got, vec![(a, "ping".to_string())]);
+        assert_eq!(sim.process(a).got, vec![(b, "pong".to_string())]);
+        assert_eq!(sim.stats().messages_sent, 2);
+        assert_eq!(sim.stats().messages_delivered, 2);
+    }
+
+    #[test]
+    fn crashed_process_receives_nothing() {
+        let (mut sim, a, b) = two_procs();
+        sim.crash(b);
+        sim.invoke(a, |_, ctx| ctx.send(b, "ping".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert!(sim.process(b).got.is_empty());
+        assert_eq!(sim.stats().messages_dropped, 1);
+        assert!(!sim.is_alive(b));
+        assert!(sim.is_alive(a));
+    }
+
+    #[test]
+    fn scheduled_crash_takes_effect_at_time() {
+        let (mut sim, a, b) = two_procs();
+        sim.schedule_crash(b, SimTime(500));
+        // Sent at t=0, arrives at t=1 (ideal link): delivered.
+        sim.invoke(a, |_, ctx| ctx.send(b, "early".into()));
+        sim.run_until(SimTime(400));
+        assert_eq!(sim.process(b).got.len(), 1);
+        sim.run_until(SimTime(600));
+        sim.invoke(a, |_, ctx| ctx.send(b, "late".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.process(b).got.len(), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let (mut sim, a, _) = two_procs();
+        let cancelled = sim
+            .invoke(a, |_, ctx| {
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+                let t2 = ctx.set_timer(SimDuration::from_millis(1), 2);
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+                t2
+            })
+            .unwrap();
+        sim.invoke(a, |_, ctx| ctx.cancel_timer(cancelled));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.process(a).timer_fired, vec![3, 1]);
+    }
+
+    #[test]
+    fn partition_blocks_delivery_and_heals() {
+        let (mut sim, a, b) = two_procs();
+        sim.set_partition(Partition::split([sim.node_of(b)]));
+        sim.invoke(a, |_, ctx| ctx.send(b, "blocked".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert!(sim.process(b).got.is_empty());
+        assert_eq!(sim.stats().messages_dropped, 1);
+
+        sim.set_partition(Partition::connected());
+        sim.invoke(a, |_, ctx| ctx.send(b, "ok".into()));
+        sim.run_to_quiescence(SimTime(2_000_000));
+        assert_eq!(sim.process(b).got.len(), 1);
+    }
+
+    #[test]
+    fn scheduled_partition_fires() {
+        let (mut sim, a, b) = two_procs();
+        sim.schedule_partition(SimTime(100), Partition::split([sim.node_of(b)]));
+        sim.run_until(SimTime(200));
+        sim.invoke(a, |_, ctx| ctx.send(b, "x".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert!(sim.process(b).got.is_empty());
+    }
+
+    #[test]
+    fn multicast_counts_one_message_per_destination() {
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::ideal(3));
+        let nodes = sim.add_nodes(5);
+        let pids: Vec<Pid> = nodes
+            .iter()
+            .map(|n| sim.spawn(*n, Echo::default()))
+            .collect();
+        let (first, rest) = pids.split_first().unwrap();
+        let rest = rest.to_vec();
+        sim.invoke(*first, |_, ctx| ctx.multicast(rest, "hello".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.stats().proc(pids[0]).sent, 4);
+        for p in &pids[1..] {
+            assert_eq!(sim.process(*p).got.len(), 1);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stats() {
+        let run = |seed| {
+            let mut sim: Sim<Echo> = Sim::new(SimConfig::lan(seed));
+            let nodes = sim.add_nodes(4);
+            let pids: Vec<Pid> = nodes
+                .iter()
+                .map(|n| sim.spawn(*n, Echo::default()))
+                .collect();
+            for i in 0..20u32 {
+                let from = pids[(i % 4) as usize];
+                let to = pids[((i + 1) % 4) as usize];
+                sim.invoke(from, |_, ctx| ctx.send(to, "ping".into()));
+            }
+            sim.run_to_quiescence(SimTime(10_000_000));
+            (sim.stats().messages_sent, sim.now())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn invoke_on_dead_process_returns_none() {
+        let (mut sim, a, _) = two_procs();
+        sim.crash(a);
+        assert!(sim.invoke(a, |_, _| ()).is_none());
+    }
+
+    #[test]
+    fn inject_delivers_from_external() {
+        let (mut sim, a, _) = two_procs();
+        sim.inject(a, "hi".into());
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.process(a).got, vec![(Pid::EXTERNAL, "hi".to_string())]);
+    }
+
+    #[test]
+    fn halt_stops_a_process_silently() {
+        let (mut sim, a, b) = two_procs();
+        sim.invoke(a, |_, ctx| ctx.halt());
+        assert!(!sim.is_alive(a));
+        sim.invoke(b, |_, ctx| ctx.send(a, "x".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert!(sim.process(a).got.is_empty());
+    }
+
+    #[test]
+    fn crash_node_kills_all_hosted_processes() {
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::ideal(5));
+        let n0 = sim.add_node(SiteId(0));
+        let n1 = sim.add_node(SiteId(0));
+        let a = sim.spawn(n0, Echo::default());
+        let b = sim.spawn(n0, Echo::default());
+        let c = sim.spawn(n1, Echo::default());
+        sim.crash_node(n0);
+        assert!(!sim.is_alive(a));
+        assert!(!sim.is_alive(b));
+        assert!(sim.is_alive(c));
+        assert_eq!(sim.alive_pids(), vec![c]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::ideal(0));
+        sim.run_until(SimTime(12_345));
+        assert_eq!(sim.now(), SimTime(12_345));
+    }
+
+    #[test]
+    fn long_distance_latency_exceeds_lan() {
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::lan(9));
+        let n0 = sim.add_node(SiteId(0));
+        let n1 = sim.add_node(SiteId(0));
+        let n2 = sim.add_node(SiteId(1));
+        let a = sim.spawn(n0, Echo::default());
+        let b = sim.spawn(n1, Echo::default());
+        let c = sim.spawn(n2, Echo::default());
+        sim.invoke(a, |_, ctx| {
+            ctx.send(b, "lan".into());
+            ctx.send(c, "wan".into());
+        });
+        sim.run_until(SimTime(10_000));
+        assert_eq!(sim.process(b).got.len(), 1, "LAN message arrives fast");
+        assert_eq!(sim.process(c).got.len(), 0, "WAN message still in flight");
+        sim.run_until(SimTime(100_000));
+        assert_eq!(sim.process(c).got.len(), 1);
+    }
+
+    #[test]
+    fn fifo_channels_preserve_send_order_despite_jitter() {
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::lan(11));
+        let nodes = sim.add_nodes(2);
+        let a = sim.spawn(nodes[0], Echo::default());
+        let b = sim.spawn(nodes[1], Echo::default());
+        sim.invoke(a, |_, ctx| {
+            for i in 0..50 {
+                ctx.send(b, format!("{i}"));
+            }
+        });
+        sim.run_to_quiescence(SimTime(60_000_000));
+        let got: Vec<String> = sim.process(b).got.iter().map(|(_, m)| m.clone()).collect();
+        let want: Vec<String> = (0..50).map(|i| format!("{i}")).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn send_to_unknown_pid_is_counted_as_drop() {
+        let (mut sim, a, _) = two_procs();
+        sim.invoke(a, |_, ctx| ctx.send(Pid(999), "void".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.stats().messages_dropped, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Identifiers for the entities of a simulated network of workstations.
+
+use std::fmt;
+
+/// Identifies a workstation (a node) in the simulated network.
+///
+/// Nodes are the unit of network connectivity and of site placement; a node
+/// may host many processes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies a site — a LAN segment such as "the trading floor" or "the
+/// machine room". Links between sites are long-distance links with higher
+/// latency, as discussed in section 5 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(pub u16);
+
+/// Identifies a process in the simulation.
+///
+/// A `Pid` is never reused: a crashed process that "recovers" rejoins the
+/// system as a new process with a new `Pid`, matching the ISIS model in which
+/// recovery is indistinguishable from a fresh join.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// A pseudo-process representing input injected by the test harness
+    /// (an "external client" outside the simulated world).
+    pub const EXTERNAL: Pid = Pid(u32::MAX);
+
+    /// Returns `true` for the harness pseudo-process.
+    pub fn is_external(self) -> bool {
+        self == Pid::EXTERNAL
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_external() {
+            write!(f, "p(ext)")
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A handle naming a pending timer, used to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_pid_is_recognised() {
+        assert!(Pid::EXTERNAL.is_external());
+        assert!(!Pid(0).is_external());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", Pid(7)), "p7");
+        assert_eq!(format!("{:?}", Pid::EXTERNAL), "p(ext)");
+        assert_eq!(format!("{:?}", SiteId(1)), "site1");
+        assert_eq!(format!("{:?}", TimerId(9)), "timer#9");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(Pid(1) < Pid(2));
+        assert!(NodeId(0) < NodeId(1));
+    }
+}

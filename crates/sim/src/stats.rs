@@ -1,0 +1,497 @@
+//! Measurement infrastructure.
+//!
+//! Every quantitative claim reproduced from the paper is a statement about
+//! message counts, destination counts, state sizes, or latencies. Those are
+//! collected *here*, centrally, so protocol code needs no instrumentation
+//! beyond optional named counters and latency samples.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::ids::Pid;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-process message counters.
+#[derive(Clone, Debug, Default)]
+pub struct ProcStats {
+    /// Messages this process sent (per destination, including loopback).
+    pub sent: u64,
+    /// Messages delivered to this process.
+    pub received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages addressed to this process that the network dropped.
+    pub dropped_to: u64,
+}
+
+/// A latency/size sample series with streaming percentile summary.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    samples: Vec<f64>,
+}
+
+impl Series {
+    /// Records one sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Minimum sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The `q`-quantile (0.0..=1.0) by nearest-rank, or 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample recorded"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len())
+            - 1;
+        sorted[rank]
+    }
+
+    /// Convenience: the median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Borrow the raw samples.
+    pub fn raw(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Global simulation statistics.
+///
+/// Collected by the engine on every send/delivery; experiments read them
+/// after (or during) a run. Named counters and series let protocol layers
+/// record domain events (view changes, broadcasts completed, end-to-end
+/// latencies) without new plumbing.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Total messages handed to the network (including later-dropped ones).
+    pub messages_sent: u64,
+    /// Total messages delivered.
+    pub messages_delivered: u64,
+    /// Total messages dropped by the network (loss or partition).
+    pub messages_dropped: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Per-process counters, indexed by `Pid.0`.
+    per_proc: Vec<ProcStats>,
+    /// Distinct destinations each process has contacted. Enabled on demand
+    /// because it costs a hash-set per process.
+    fanout_tracking: Option<Vec<HashSet<Pid>>>,
+    /// Named event counters (e.g. `"view_changes"`).
+    counters: BTreeMap<String, u64>,
+    /// Named sample series (e.g. `"request_latency_ms"`).
+    series: BTreeMap<String, Series>,
+}
+
+impl Stats {
+    /// Enables per-process distinct-destination tracking (experiment E8).
+    pub fn enable_fanout_tracking(&mut self) {
+        if self.fanout_tracking.is_none() {
+            let n = self.per_proc.len();
+            self.fanout_tracking = Some(vec![HashSet::new(); n]);
+        }
+    }
+
+    pub(crate) fn ensure_proc(&mut self, pid: Pid) {
+        let idx = pid.0 as usize;
+        if self.per_proc.len() <= idx {
+            self.per_proc.resize_with(idx + 1, ProcStats::default);
+            if let Some(f) = &mut self.fanout_tracking {
+                f.resize_with(idx + 1, HashSet::new);
+            }
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, from: Pid, to: Pid, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        if !from.is_external() {
+            self.ensure_proc(from);
+            let p = &mut self.per_proc[from.0 as usize];
+            p.sent += 1;
+            p.bytes_sent += bytes as u64;
+            if let Some(f) = &mut self.fanout_tracking {
+                f[from.0 as usize].insert(to);
+            }
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, to: Pid) {
+        self.messages_delivered += 1;
+        self.ensure_proc(to);
+        self.per_proc[to.0 as usize].received += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self, to: Pid) {
+        self.messages_dropped += 1;
+        if !to.is_external() {
+            self.ensure_proc(to);
+            self.per_proc[to.0 as usize].dropped_to += 1;
+        }
+    }
+
+    /// Per-process counters for `pid` (zeroes if it never communicated).
+    pub fn proc(&self, pid: Pid) -> ProcStats {
+        self.per_proc
+            .get(pid.0 as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The number of distinct destinations `pid` has contacted.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Stats::enable_fanout_tracking`] was called before the
+    /// sends of interest.
+    pub fn distinct_destinations(&self, pid: Pid) -> usize {
+        let f = self
+            .fanout_tracking
+            .as_ref()
+            .expect("fanout tracking not enabled");
+        f.get(pid.0 as usize).map_or(0, HashSet::len)
+    }
+
+    /// The largest distinct-destination count over all processes — the
+    /// paper's *fanout* bound, measured.
+    pub fn max_distinct_destinations(&self) -> usize {
+        let f = self
+            .fanout_tracking
+            .as_ref()
+            .expect("fanout tracking not enabled");
+        f.iter().map(HashSet::len).max().unwrap_or(0)
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn bump_by(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Adds 1 to the named counter.
+    pub fn bump(&mut self, name: &str) {
+        self.bump_by(name, 1);
+    }
+
+    /// Reads a named counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Records one sample in the named series.
+    pub fn sample(&mut self, name: &str, v: f64) {
+        self.series.entry(name.to_owned()).or_default().push(v);
+    }
+
+    /// Records a duration sample in milliseconds.
+    pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
+        self.sample(name, d.as_millis_f64());
+    }
+
+    /// Reads a named series (empty when never sampled).
+    pub fn series(&self, name: &str) -> Series {
+        self.series.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Resets message counters and series but keeps process table sizing.
+    ///
+    /// Used by experiments that let the system reach steady state, then
+    /// measure a window.
+    pub fn reset_window(&mut self) {
+        self.messages_sent = 0;
+        self.messages_delivered = 0;
+        self.messages_dropped = 0;
+        self.bytes_sent = 0;
+        for p in &mut self.per_proc {
+            *p = ProcStats::default();
+        }
+        if let Some(f) = &mut self.fanout_tracking {
+            for s in f.iter_mut() {
+                s.clear();
+            }
+        }
+        self.counters.clear();
+        self.series.clear();
+    }
+
+    /// Sum of messages sent by every process in `pids`.
+    pub fn sent_by(&self, pids: impl IntoIterator<Item = Pid>) -> u64 {
+        pids.into_iter().map(|p| self.proc(p).sent).sum()
+    }
+
+    /// Sum of messages received by every process in `pids`.
+    pub fn received_by(&self, pids: impl IntoIterator<Item = Pid>) -> u64 {
+        pids.into_iter().map(|p| self.proc(p).received).sum()
+    }
+}
+
+/// A single observation a process can emit for the harness to collect, with
+/// the simulated time at which it happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Observation {
+    /// When the observation was emitted.
+    pub at: SimTime,
+    /// The emitting process.
+    pub by: Pid,
+    /// Free-form label, e.g. `"delivered"`.
+    pub label: String,
+    /// Numeric payload (meaning depends on the label).
+    pub value: f64,
+}
+
+/// An append-only log of observations emitted by processes via
+/// [`crate::Ctx::observe`].
+#[derive(Clone, Debug, Default)]
+pub struct ObservationLog {
+    entries: Vec<Observation>,
+}
+
+impl ObservationLog {
+    pub(crate) fn push(&mut self, obs: Observation) {
+        self.entries.push(obs);
+    }
+
+    /// All observations in emission order.
+    pub fn all(&self) -> &[Observation] {
+        &self.entries
+    }
+
+    /// Observations with the given label.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Observation> {
+        self.entries.iter().filter(move |o| o.label == label)
+    }
+
+    /// Count of observations with the given label.
+    pub fn count(&self, label: &str) -> usize {
+        self.with_label(label).count()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Histogram-style bucket summary used by report printers.
+#[derive(Clone, Debug, Default)]
+pub struct CountMap<K: Ord> {
+    counts: BTreeMap<K, u64>,
+}
+
+impl<K: Ord> CountMap<K> {
+    /// Creates an empty count map.
+    pub fn new() -> CountMap<K> {
+        CountMap {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one to the bucket for `k`.
+    pub fn bump(&mut self, k: K) {
+        *self.counts.entry(k).or_insert(0) += 1;
+    }
+
+    /// Reads the bucket for `k`.
+    pub fn get(&self, k: &K) -> u64 {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// Iterates buckets in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, v)| (k, *v))
+    }
+}
+
+/// Extension: aggregates a `HashMap<Pid, u64>` into the hottest entries, for
+/// reports about which processes carry the load.
+pub fn hottest(map: &HashMap<Pid, u64>, k: usize) -> Vec<(Pid, u64)> {
+    let mut v: Vec<(Pid, u64)> = map.iter().map(|(p, c)| (*p, *c)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_percentiles() {
+        let mut s = Series::default();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_empty_is_zero() {
+        let s = Series::default();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn send_and_delivery_counters() {
+        let mut st = Stats::default();
+        st.record_send(Pid(0), Pid(1), 100);
+        st.record_send(Pid(0), Pid(2), 50);
+        st.record_delivery(Pid(1));
+        st.record_drop(Pid(2));
+        assert_eq!(st.messages_sent, 2);
+        assert_eq!(st.messages_delivered, 1);
+        assert_eq!(st.messages_dropped, 1);
+        assert_eq!(st.bytes_sent, 150);
+        assert_eq!(st.proc(Pid(0)).sent, 2);
+        assert_eq!(st.proc(Pid(1)).received, 1);
+        assert_eq!(st.proc(Pid(2)).dropped_to, 1);
+    }
+
+    #[test]
+    fn external_sends_counted_globally_only() {
+        let mut st = Stats::default();
+        st.record_send(Pid::EXTERNAL, Pid(1), 10);
+        assert_eq!(st.messages_sent, 1);
+        // No per-proc slot was allocated for the external pseudo-pid.
+        assert_eq!(st.proc(Pid::EXTERNAL).sent, 0);
+    }
+
+    #[test]
+    fn fanout_tracking_counts_distinct_destinations() {
+        let mut st = Stats::default();
+        st.enable_fanout_tracking();
+        st.record_send(Pid(0), Pid(1), 1);
+        st.record_send(Pid(0), Pid(1), 1);
+        st.record_send(Pid(0), Pid(2), 1);
+        st.record_send(Pid(3), Pid(4), 1);
+        assert_eq!(st.distinct_destinations(Pid(0)), 2);
+        assert_eq!(st.distinct_destinations(Pid(3)), 1);
+        assert_eq!(st.max_distinct_destinations(), 2);
+    }
+
+    #[test]
+    fn named_counters_and_series() {
+        let mut st = Stats::default();
+        st.bump("view_changes");
+        st.bump_by("view_changes", 2);
+        st.sample("lat", 5.0);
+        st.sample("lat", 15.0);
+        assert_eq!(st.counter("view_changes"), 3);
+        assert_eq!(st.counter("missing"), 0);
+        assert_eq!(st.series("lat").mean(), 10.0);
+    }
+
+    #[test]
+    fn reset_window_clears_counts() {
+        let mut st = Stats::default();
+        st.enable_fanout_tracking();
+        st.record_send(Pid(0), Pid(1), 10);
+        st.bump("x");
+        st.reset_window();
+        assert_eq!(st.messages_sent, 0);
+        assert_eq!(st.proc(Pid(0)).sent, 0);
+        assert_eq!(st.counter("x"), 0);
+        assert_eq!(st.distinct_destinations(Pid(0)), 0);
+    }
+
+    #[test]
+    fn observation_log_filters_by_label() {
+        let mut log = ObservationLog::default();
+        log.push(Observation {
+            at: SimTime(1),
+            by: Pid(0),
+            label: "a".into(),
+            value: 1.0,
+        });
+        log.push(Observation {
+            at: SimTime(2),
+            by: Pid(1),
+            label: "b".into(),
+            value: 2.0,
+        });
+        assert_eq!(log.count("a"), 1);
+        assert_eq!(log.all().len(), 2);
+        assert_eq!(log.with_label("b").next().unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn count_map_buckets() {
+        let mut m = CountMap::new();
+        m.bump(3);
+        m.bump(3);
+        m.bump(5);
+        assert_eq!(m.get(&3), 2);
+        assert_eq!(m.get(&4), 0);
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn hottest_sorts_descending() {
+        let mut m = HashMap::new();
+        m.insert(Pid(1), 5);
+        m.insert(Pid(2), 9);
+        m.insert(Pid(3), 9);
+        let h = hottest(&m, 2);
+        assert_eq!(h, vec![(Pid(2), 9), (Pid(3), 9)]);
+    }
+
+    #[test]
+    fn sent_received_aggregation() {
+        let mut st = Stats::default();
+        st.record_send(Pid(0), Pid(1), 1);
+        st.record_send(Pid(1), Pid(0), 1);
+        st.record_delivery(Pid(0));
+        st.record_delivery(Pid(1));
+        assert_eq!(st.sent_by([Pid(0), Pid(1)]), 2);
+        assert_eq!(st.received_by([Pid(0), Pid(1)]), 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Flat (non-hierarchical) variants of the ISIS toolkit tools — the
+//! baseline whose costs the paper analyses.
+
+pub mod mutex;
+pub mod parallel;
+pub mod repldata;
+pub mod service;
+
+pub use mutex::{FlatMutex, MutexMsg};
+pub use parallel::{FlatParallel, ParMsg};
+pub use repldata::{ReplData, ReplMsg};
+pub use service::{FlatService, SvcMsg};

@@ -1,0 +1,169 @@
+//! Distributed mutual exclusion, flat variant: an ABCAST-ordered request
+//! queue. Every member delivers `Acquire`/`Release` events in the same
+//! total order, so all replicas of each lock's FIFO queue agree and the
+//! holder is always unambiguous — the classic ISIS toolkit construction.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use now_sim::Pid;
+
+use isis_core::{Application, CastKind, GroupId, GroupView, Uplink};
+
+/// Wire payload of the mutex tool.
+#[derive(Clone, Debug)]
+pub enum MutexMsg {
+    /// Request the named lock (ABCAST).
+    Acquire { lock: String },
+    /// Release the named lock (ABCAST).
+    Release { lock: String },
+}
+
+/// One member of a mutual-exclusion group.
+#[derive(Default)]
+pub struct FlatMutex {
+    /// Per-lock FIFO queues (replicated identically at every member).
+    queues: BTreeMap<String, VecDeque<Pid>>,
+    /// Locks this member currently holds.
+    pub held: Vec<String>,
+    /// History of `(lock, holder)` grants observed, for invariant checks.
+    pub grants: Vec<(String, Pid)>,
+    group: Option<GroupId>,
+}
+
+impl FlatMutex {
+    /// Creates an idle member.
+    pub fn new() -> FlatMutex {
+        FlatMutex::default()
+    }
+
+    /// Requests `lock`; the grant materialises when our queue entry
+    /// reaches the head (observable via [`FlatMutex::holds`]).
+    pub fn acquire(&mut self, lock: &str, up: &mut Uplink<'_, '_, Self>) {
+        let Some(gid) = self.group else { return };
+        up.cast(
+            gid,
+            CastKind::Total,
+            MutexMsg::Acquire { lock: lock.to_owned() },
+        );
+    }
+
+    /// Releases a held lock.
+    pub fn release(&mut self, lock: &str, up: &mut Uplink<'_, '_, Self>) {
+        let Some(gid) = self.group else { return };
+        up.cast(
+            gid,
+            CastKind::Total,
+            MutexMsg::Release { lock: lock.to_owned() },
+        );
+    }
+
+    /// Whether this member currently holds `lock`.
+    pub fn holds(&self, lock: &str) -> bool {
+        self.held.iter().any(|l| l == lock)
+    }
+
+    /// The current holder of `lock` in the replicated queue, if any.
+    pub fn holder_of(&self, lock: &str) -> Option<Pid> {
+        self.queues.get(lock).and_then(|q| q.front().copied())
+    }
+
+    /// Queue length for a lock (holder included).
+    pub fn queue_len(&self, lock: &str) -> usize {
+        self.queues.get(lock).map_or(0, VecDeque::len)
+    }
+
+    fn note_grants(&mut self, me: Pid) {
+        self.held = self
+            .queues
+            .iter()
+            .filter(|(_, q)| q.front() == Some(&me))
+            .map(|(l, _)| l.clone())
+            .collect();
+    }
+}
+
+impl Application for FlatMutex {
+    type Payload = MutexMsg;
+    type State = Vec<(String, Vec<Pid>)>;
+
+    fn on_deliver(
+        &mut self,
+        _gid: GroupId,
+        from: Pid,
+        _kind: CastKind,
+        payload: &MutexMsg,
+        up: &mut Uplink<'_, '_, Self>,
+    ) {
+        match payload {
+            MutexMsg::Acquire { lock } => {
+                let q = self.queues.entry(lock.clone()).or_default();
+                if !q.contains(&from) {
+                    q.push_back(from);
+                }
+                if q.front() == Some(&from) {
+                    self.grants.push((lock.clone(), from));
+                }
+            }
+            MutexMsg::Release { lock } => {
+                if let Some(q) = self.queues.get_mut(lock) {
+                    if q.front() == Some(&from) {
+                        q.pop_front();
+                        if let Some(&next) = q.front() {
+                            self.grants.push((lock.clone(), next));
+                        }
+                    } else {
+                        // A release from a non-holder is a protocol error
+                        // by the app; drop it deterministically.
+                        up.bump("tool.mutex.bogus_release");
+                    }
+                    if q.is_empty() {
+                        self.queues.remove(lock);
+                    }
+                }
+            }
+        }
+        self.note_grants(up.me());
+    }
+
+    fn on_view(&mut self, view: &GroupView, _joined: bool, up: &mut Uplink<'_, '_, Self>) {
+        self.group = Some(view.gid);
+        // Failed members release everything they held or queued for: the
+        // view change is totally ordered with the lock traffic, so every
+        // survivor prunes identically.
+        let mut freed: Vec<(String, Pid)> = Vec::new();
+        for (lock, q) in self.queues.iter_mut() {
+            let had = q.front().copied();
+            q.retain(|p| view.contains(*p));
+            if let Some(&now_head) = q.front() {
+                if had != Some(now_head) {
+                    freed.push((lock.clone(), now_head));
+                }
+            }
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+        for g in freed {
+            self.grants.push(g);
+        }
+        self.note_grants(up.me());
+    }
+
+    fn export_state(&self, _gid: GroupId) -> Self::State {
+        self.queues
+            .iter()
+            .map(|(l, q)| (l.clone(), q.iter().copied().collect()))
+            .collect()
+    }
+
+    fn import_state(&mut self, _gid: GroupId, state: Self::State) {
+        self.queues = state
+            .into_iter()
+            .map(|(l, q)| (l, q.into_iter().collect()))
+            .collect();
+    }
+
+    fn payload_bytes(p: &MutexMsg) -> usize {
+        16 + match p {
+            MutexMsg::Acquire { lock } | MutexMsg::Release { lock } => lock.len(),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The data-replication tool, flat variant: every member holds a full
+//! copy of the store; writes are ABCAST so all replicas apply the same
+//! sequence; reads are answered locally ("read-any / write-all") — the
+//! classic ISIS replication tool the paper lists alongside
+//! coordinator-cohort.
+//!
+//! Compared to [`crate::flat::service::FlatService`], there is no
+//! designated executor: *every* member applies every write, which is the
+//! cheapest flat design for read-heavy data — and still costs `n` messages
+//! per write plus `O(n)` storage per member, which the hierarchical
+//! partitioned store (`crate::hier::service`) bounds per leaf.
+
+use std::collections::HashMap;
+
+use now_sim::Pid;
+
+use isis_core::{Application, CastKind, GroupId, GroupView, Uplink};
+
+use crate::common::{apply_command, KvState};
+
+/// Wire payload of the replication tool.
+#[derive(Clone, Debug)]
+pub enum ReplMsg {
+    /// A replicated update (ABCAST within the group).
+    Update { body: String },
+    /// Client → any replica: read a key.
+    Read { key: String, ticket: u64 },
+    /// Replica → client.
+    ReadReply { ticket: u64, value: Option<String> },
+}
+
+/// One replica (or client) of the replicated store.
+#[derive(Default)]
+pub struct ReplData {
+    group: Option<GroupId>,
+    /// The replicated state.
+    pub state: KvState,
+    /// Updates applied, in order (for convergence checks).
+    pub applied: Vec<String>,
+    // Client side.
+    next_ticket: u64,
+    /// Read results: ticket → value.
+    pub reads: HashMap<u64, Option<String>>,
+}
+
+impl ReplData {
+    /// Creates an empty replica.
+    pub fn new() -> ReplData {
+        ReplData::default()
+    }
+
+    /// Member: issues a replicated write (any `apply_command` mutation).
+    pub fn update(&mut self, body: &str, up: &mut Uplink<'_, '_, Self>) {
+        let Some(gid) = self.group else { return };
+        up.cast(
+            gid,
+            CastKind::Total,
+            ReplMsg::Update {
+                body: body.to_owned(),
+            },
+        );
+    }
+
+    /// Client: reads `key` from one replica (read-any). The reply lands in
+    /// [`ReplData::reads`] under the returned ticket.
+    pub fn read_from(&mut self, replica: Pid, key: &str, up: &mut Uplink<'_, '_, Self>) -> u64 {
+        self.next_ticket += 1;
+        let ticket = self.next_ticket;
+        up.direct(
+            replica,
+            ReplMsg::Read {
+                key: key.to_owned(),
+                ticket,
+            },
+        );
+        ticket
+    }
+}
+
+impl Application for ReplData {
+    type Payload = ReplMsg;
+    type State = (KvState, Vec<String>);
+
+    fn on_deliver(
+        &mut self,
+        _gid: GroupId,
+        _from: Pid,
+        _kind: CastKind,
+        payload: &ReplMsg,
+        _up: &mut Uplink<'_, '_, Self>,
+    ) {
+        if let ReplMsg::Update { body } = payload {
+            apply_command(&mut self.state, body);
+            self.applied.push(body.clone());
+        }
+    }
+
+    fn on_direct(&mut self, from: Pid, payload: &ReplMsg, up: &mut Uplink<'_, '_, Self>) {
+        match payload {
+            ReplMsg::Read { key, ticket } => {
+                up.direct(
+                    from,
+                    ReplMsg::ReadReply {
+                        ticket: *ticket,
+                        value: self.state.get(key).cloned(),
+                    },
+                );
+            }
+            ReplMsg::ReadReply { ticket, value } => {
+                self.reads.insert(*ticket, value.clone());
+            }
+            ReplMsg::Update { .. } => {}
+        }
+    }
+
+    fn on_view(&mut self, view: &GroupView, _joined: bool, _up: &mut Uplink<'_, '_, Self>) {
+        self.group = Some(view.gid);
+    }
+
+    fn export_state(&self, _gid: GroupId) -> Self::State {
+        (self.state.clone(), self.applied.clone())
+    }
+
+    fn import_state(&mut self, _gid: GroupId, state: Self::State) {
+        self.state = state.0;
+        self.applied = state.1;
+    }
+
+    fn payload_bytes(p: &ReplMsg) -> usize {
+        16 + match p {
+            ReplMsg::Update { body } => body.len(),
+            ReplMsg::Read { key, .. } => key.len(),
+            ReplMsg::ReadReply { value, .. } => value.as_ref().map_or(0, String::len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isis_core::testutil::generic_cluster;
+    use isis_core::{IsisConfig, IsisProcess};
+    use now_sim::{Sim, SimConfig, SimDuration};
+
+    const GID: GroupId = GroupId(11);
+
+    fn replicas(n: usize, seed: u64) -> (Sim<IsisProcess<ReplData>>, Vec<Pid>) {
+        generic_cluster(n, GID, IsisConfig::default(), SimConfig::ideal(seed), |_| {
+            ReplData::new()
+        })
+    }
+
+    #[test]
+    fn concurrent_writers_converge_to_one_history() {
+        let (mut sim, reps) = replicas(4, 1);
+        for (i, &r) in reps.clone().iter().enumerate() {
+            for k in 0..5 {
+                sim.invoke(r, move |p, ctx| {
+                    p.with_app(ctx, |app, up| app.update(&format!("ADD c{i} {k}"), up));
+                });
+            }
+        }
+        sim.run_for(SimDuration::from_secs(5));
+        let h0 = sim.process(reps[0]).app().applied.clone();
+        assert_eq!(h0.len(), 20);
+        for &r in &reps[1..] {
+            assert_eq!(sim.process(r).app().applied, h0, "histories diverged");
+        }
+    }
+
+    #[test]
+    fn read_any_returns_the_replicated_value() {
+        let (mut sim, reps) = replicas(3, 3);
+        sim.invoke(reps[0], |p, ctx| {
+            p.with_app(ctx, |app, up| app.update("PUT greeting hello", up));
+        });
+        sim.run_for(SimDuration::from_secs(2));
+        let nd = sim.add_nodes(1)[0];
+        let client = sim.spawn(nd, IsisProcess::with_defaults(ReplData::new()));
+        let replica = reps[2];
+        let ticket = sim
+            .invoke(client, move |p, ctx| {
+                p.with_app(ctx, |app, up| app.read_from(replica, "greeting", up))
+            })
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.process(client).app().reads.get(&ticket),
+            Some(&Some("hello".to_string()))
+        );
+    }
+
+    #[test]
+    fn replica_failure_preserves_the_store() {
+        let (mut sim, reps) = replicas(3, 5);
+        sim.invoke(reps[0], |p, ctx| {
+            p.with_app(ctx, |app, up| app.update("PUT k v", up));
+        });
+        sim.run_for(SimDuration::from_secs(2));
+        sim.crash(reps[0]);
+        sim.run_for(SimDuration::from_secs(10));
+        for &r in &reps[1..] {
+            assert_eq!(sim.process(r).app().state.get("k").map(String::as_str), Some("v"));
+        }
+        // Writes keep flowing through the survivors.
+        sim.invoke(reps[1], |p, ctx| {
+            p.with_app(ctx, |app, up| app.update("PUT k2 v2", up));
+        });
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(
+            sim.process(reps[2]).app().state.get("k2").map(String::as_str),
+            Some("v2")
+        );
+    }
+
+    #[test]
+    fn joining_replica_inherits_state_and_history() {
+        let (mut sim, reps) = replicas(2, 7);
+        for i in 0..10 {
+            sim.invoke(reps[i % 2], move |p, ctx| {
+                p.with_app(ctx, |app, up| app.update(&format!("PUT k{i} {i}"), up));
+            });
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        let nd = sim.add_nodes(1)[0];
+        let newbie = sim.spawn(nd, IsisProcess::with_defaults(ReplData::new()));
+        let contact = reps[0];
+        sim.invoke(newbie, move |p, ctx| p.join(GID, contact, ctx).unwrap());
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(sim.process(newbie).app().state.len(), 10);
+        assert_eq!(sim.process(newbie).app().applied.len(), 10);
+    }
+}

@@ -1,0 +1,259 @@
+//! The coordinator-cohort tool, flat (non-hierarchical) variant — the
+//! paper's worked example of a tool that does not scale:
+//!
+//! > "A client of such a service broadcasts its request to all members of
+//! > the group, one of whose members is chosen to handle the request. This
+//! > member, the coordinator, is monitored by the other group members, the
+//! > cohorts, and should the coordinator fail, one of the cohorts is
+//! > selected to take over as the new coordinator. When the coordinator has
+//! > completed the request, the result is returned to the client, and
+//! > copies of the result are broadcast to the cohorts."
+//!
+//! With `n` members this costs exactly `2n` messages per request
+//! (`n` request copies + 1 client reply + `n-1` result copies), which
+//! experiment E1 measures.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use now_sim::{Pid, SimDuration, SimTime};
+
+use isis_core::{Application, CastKind, GroupId, GroupView, Uplink};
+
+use crate::common::{apply_command, KvState, ReqId};
+
+/// Wire payload of the flat coordinator-cohort service.
+#[derive(Clone, Debug)]
+pub enum SvcMsg {
+    /// Client → every member: a request (the client's "broadcast").
+    Request { req: ReqId, body: String },
+    /// Coordinator → cohorts (CBCAST): the executed result, so cohorts
+    /// apply the same state change and discard the logged request.
+    Result { req: ReqId, body: String, reply: String },
+    /// Coordinator → client: the reply.
+    Reply { req: ReqId, reply: String },
+}
+
+/// One member's (or client's) coordinator-cohort state.
+///
+/// The same application type serves both roles: group members execute
+/// requests; clients issue them with [`FlatService::send_request`] and
+/// collect replies in [`FlatService::replies`].
+pub struct FlatService {
+    /// The service group.
+    pub gid: GroupId,
+    /// Current view (members only).
+    view: Option<GroupView>,
+    /// Replicated service state.
+    pub state: KvState,
+    /// Requests logged but not yet completed: the cohort's log.
+    pending: BTreeMap<ReqId, String>,
+    /// Recently completed requests (deduplication).
+    completed: BTreeSet<ReqId>,
+    /// Requests this member actually executed (for E1's "acting member"
+    /// count and coordinator-failover tests).
+    pub executed: Vec<ReqId>,
+
+    // --- client side ---
+    next_seq: u64,
+    /// Replies received: req -> reply.
+    pub replies: HashMap<ReqId, String>,
+    /// Outstanding client requests for retry: req -> (body, members, last).
+    outstanding: HashMap<ReqId, (String, Vec<Pid>, SimTime)>,
+    /// Client retry interval.
+    pub retry: SimDuration,
+}
+
+/// Timer kind used for client retries.
+const RETRY_TICK: u32 = 1;
+
+impl FlatService {
+    /// Creates a member (or client) of the service on group `gid`.
+    pub fn new(gid: GroupId) -> FlatService {
+        FlatService {
+            gid,
+            view: None,
+            state: KvState::new(),
+            pending: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            executed: Vec::new(),
+            next_seq: 0,
+            replies: HashMap::new(),
+            outstanding: HashMap::new(),
+            retry: SimDuration::from_millis(1_500),
+        }
+    }
+
+    /// Whether this member currently acts as the coordinator.
+    pub fn i_am_coordinator(&self, me: Pid) -> bool {
+        self.view
+            .as_ref()
+            .is_some_and(|v| v.coordinator() == me)
+    }
+
+    /// Number of requests logged but not completed (cohort log size).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Client: broadcasts a request to every member of the service group.
+    /// Returns the request id.
+    pub fn send_request(
+        &mut self,
+        members: &[Pid],
+        body: &str,
+        up: &mut Uplink<'_, '_, Self>,
+    ) -> ReqId {
+        self.next_seq += 1;
+        let req = ReqId {
+            client: up.me(),
+            seq: self.next_seq,
+        };
+        self.outstanding
+            .insert(req, (body.to_owned(), members.to_vec(), up.now()));
+        for &m in members {
+            up.direct(
+                m,
+                SvcMsg::Request {
+                    req,
+                    body: body.to_owned(),
+                },
+            );
+        }
+        if self.outstanding.len() == 1 {
+            up.set_app_timer(self.retry, RETRY_TICK);
+        }
+        req
+    }
+
+    fn execute(&mut self, req: ReqId, up: &mut Uplink<'_, '_, Self>) {
+        let Some(body) = self.pending.get(&req).cloned() else {
+            return;
+        };
+        let reply = apply_command(&mut self.state, &body);
+        self.executed.push(req);
+        self.pending.remove(&req);
+        self.completed.insert(req);
+        up.direct(
+            req.client,
+            SvcMsg::Reply {
+                req,
+                reply: reply.clone(),
+            },
+        );
+        up.cast(
+            self.gid,
+            CastKind::Causal,
+            SvcMsg::Result {
+                req,
+                body,
+                reply,
+            },
+        );
+        up.bump("tool.svc.executed");
+    }
+}
+
+impl Application for FlatService {
+    type Payload = SvcMsg;
+    type State = (KvState, Vec<(ReqId, String)>);
+
+    fn on_direct(&mut self, _from: Pid, payload: &SvcMsg, up: &mut Uplink<'_, '_, Self>) {
+        match payload {
+            SvcMsg::Request { req, body } => {
+                if self.completed.contains(req) || self.view.is_none() {
+                    return;
+                }
+                self.pending.insert(*req, body.clone());
+                if self.i_am_coordinator(up.me()) {
+                    self.execute(*req, up);
+                }
+            }
+            SvcMsg::Reply { req, reply } => {
+                self.outstanding.remove(req);
+                self.replies.insert(*req, reply.clone());
+            }
+            SvcMsg::Result { .. } => {}
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        _gid: GroupId,
+        from: Pid,
+        _kind: CastKind,
+        payload: &SvcMsg,
+        up: &mut Uplink<'_, '_, Self>,
+    ) {
+        if let SvcMsg::Result { req, body, .. } = payload {
+            // Cohorts apply the coordinator's decision and discard the log
+            // entry. The coordinator itself already applied it.
+            if from != up.me() && !self.completed.contains(req) {
+                apply_command(&mut self.state, body);
+            }
+            self.pending.remove(req);
+            self.completed.insert(*req);
+        }
+    }
+
+    fn on_view(&mut self, view: &GroupView, _joined: bool, up: &mut Uplink<'_, '_, Self>) {
+        if view.gid != self.gid {
+            return;
+        }
+        self.view = Some(view.clone());
+        // Coordinator takeover: execute everything still logged, oldest
+        // first — the failed coordinator may have died mid-request.
+        if view.coordinator() == up.me() {
+            let todo: Vec<ReqId> = self.pending.keys().copied().collect();
+            for req in todo {
+                up.bump("tool.svc.takeover_exec");
+                self.execute(req, up);
+            }
+        }
+    }
+
+    fn on_app_timer(&mut self, kind: u32, up: &mut Uplink<'_, '_, Self>) {
+        if kind != RETRY_TICK {
+            return;
+        }
+        let now = up.now();
+        let retry = self.retry;
+        let due: Vec<(ReqId, String, Vec<Pid>)> = self
+            .outstanding
+            .iter_mut()
+            .filter(|(_, (_, _, last))| now.since(*last) >= retry)
+            .map(|(req, (body, members, last))| {
+                *last = now;
+                (*req, body.clone(), members.clone())
+            })
+            .collect();
+        for (req, body, members) in due {
+            up.bump("tool.svc.client_retry");
+            for m in members {
+                up.direct(m, SvcMsg::Request { req, body: body.clone() });
+            }
+        }
+        if !self.outstanding.is_empty() {
+            up.set_app_timer(self.retry, RETRY_TICK);
+        }
+    }
+
+    fn export_state(&self, _gid: GroupId) -> Self::State {
+        (
+            self.state.clone(),
+            self.pending.iter().map(|(r, b)| (*r, b.clone())).collect(),
+        )
+    }
+
+    fn import_state(&mut self, _gid: GroupId, state: Self::State) {
+        self.state = state.0;
+        self.pending = state.1.into_iter().collect();
+    }
+
+    fn payload_bytes(p: &SvcMsg) -> usize {
+        16 + match p {
+            SvcMsg::Request { body, .. } => body.len(),
+            SvcMsg::Result { body, reply, .. } => body.len() + reply.len(),
+            SvcMsg::Reply { reply, .. } => reply.len(),
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Hierarchical variants of the toolkit tools, restructured per section 4
+//! of the paper: requests are broadcast to individual subgroups, work and
+//! data are partitioned across leaves, and no process's load grows with
+//! the size of the large group.
+
+pub mod parallel;
+pub mod service;
+
+pub use parallel::{HParMsg, TreeParallel};
+pub use service::{home_leaf, Directory, HSvcMsg, LeafServiceApp};
