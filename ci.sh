@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable offline on any machine with a Rust toolchain:
+#   1. release build of the whole workspace,
+#   2. full test suite (includes detlint's self-check and the determinism
+#      regression tests via workspace default-members),
+#   3. the determinism linter itself, emitting the machine-readable report.
+# Fails on the first broken step or on any non-allowlisted lint finding.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run -p detlint -- --json"
+cargo run --quiet -p detlint -- --json
+
+echo "==> ci: all green"

@@ -3,7 +3,8 @@
 //! a tree broadcast through a full hierarchy, and the two request paths
 //! the paper compares (flat coordinator-cohort vs leaf-scoped request).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use isis_bench::microbench::{BatchSize, Criterion};
+use isis_bench::{criterion_group, criterion_main};
 
 use isis_bench::harness::{flat_service, hier_service_with, FLAT_GID, LGID};
 use isis_core::testutil::cluster;
@@ -83,7 +84,8 @@ fn bench_flat_request(c: &mut Criterion) {
             );
         });
     }
-    for n in [32usize] {
+    {
+        let n = 32usize;
         g.bench_function(format!("hier_request_n{n}"), |b| {
             b.iter_batched(
                 || {

@@ -3,8 +3,7 @@
 //! the claim-to-experiment index and EXPERIMENTS.md for recorded results.
 
 use now_sim::{Partition, Pid, Sim, SimConfig, SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use now_sim::det_rand::{DetRng, Rng};
 
 use isis_core::testutil::generic_cluster;
 use isis_core::{GroupId, GroupView, IsisConfig, IsisProcess};
@@ -270,7 +269,7 @@ pub fn e4(quick: bool) -> Table {
     // Load-dependent per-member failure probability: bigger groups do more
     // work per request (2r messages), so p grows with r.
     let load = |r: usize| (p + 0.012 * r as f64).min(1.0);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = DetRng::seed_from_u64(42);
     let rs: Vec<usize> = if quick {
         vec![1, 2, 3, 5, 8]
     } else {
@@ -280,7 +279,7 @@ pub fn e4(quick: bool) -> Table {
         let analytic = 1.0 - p.powi(r as i32);
         let trials = if quick { 20_000 } else { 200_000 };
         let mc = (0..trials)
-            .filter(|_| (0..r).any(|_| rng.gen::<f64>() >= p))
+            .filter(|_| (0..r).any(|_| rng.gen_f64() >= p))
             .count() as f64
             / trials as f64;
         let pl = load(r);
@@ -852,7 +851,7 @@ pub fn a2(quick: bool) -> Table {
         // Churn: drain two leaves down to one member each (forcing merges
         // under narrow bands), then admit replacements (forcing mints and,
         // where dissolves overfill a target, splits).
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let dir = h.directory();
         for (gid, _) in dir.iter().rev().take(2) {
             let in_leaf = h.leaf_members(*gid);

@@ -5,6 +5,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod report;
 
 pub use report::{quick_mode, Table};

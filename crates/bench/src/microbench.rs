@@ -1,0 +1,230 @@
+//! `microbench`: a small wall-clock benchmarking harness with a
+//! criterion-shaped API.
+//!
+//! The hot-path benchmarks in `benches/hotpaths.rs` were written against the
+//! `criterion` crate; this module supplies the subset they use so the
+//! workspace has zero external dependencies and still produces useful
+//! timings. Methodology is deliberately simple: one warm-up iteration, then
+//! `sample_size` timed samples, reporting min/median/mean per sample.
+//!
+//! Wall-clock reads (`Instant::now`) are allowed *here* — measurement is the
+//! whole point — but nowhere under `crates/{sim,core,hier,toolkit}`; detlint
+//! rule R2 enforces that split.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement; only the variant the
+/// benchmarks use is provided.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation, setup excluded from timing.
+    PerIteration,
+}
+
+/// Top-level harness handle, one per benchmark binary.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a harness; an argv filter substring (as with criterion) limits
+    /// which benchmark names run.
+    pub fn new() -> Criterion {
+        let filter = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, &b.samples);
+        self
+    }
+
+    /// Ends the group (kept for API parity; output is already flushed).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; its return value is passed through
+    /// `black_box` semantics by being dropped after the timer stops.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            let out = routine();
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            self.samples.push(dt);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            self.samples.push(dt);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{name:<40} min {:>10} | median {:>10} | mean {:>10} | n={}",
+        fmt(min),
+        fmt(median),
+        fmt(mean),
+        sorted.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares the benchmark registration function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::microbench::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let mut count = 0u32;
+        g.bench_function("iter", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        g.finish();
+        // warm-up + 5 samples
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(4);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |_| {
+                    runs += 1;
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(setups, 5);
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt(Duration::from_secs(500)).ends_with('s'));
+    }
+}

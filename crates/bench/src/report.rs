@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(12345.6), "12346");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(4.56789), "4.57");
         assert_eq!(f(0.01234), "0.0123");
     }
 }

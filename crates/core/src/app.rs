@@ -213,7 +213,7 @@ impl<'a, 'b, A: Application> Uplink<'a, 'b, A> {
     }
 
     /// Deterministic randomness.
-    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+    pub fn rng(&mut self) -> &mut now_sim::DetRng {
         self.ctx.rng()
     }
 }

@@ -6,7 +6,7 @@
 //! membership machinery in [`crate::membership`] (implemented as further
 //! methods on the same type) to realise virtually synchronous view changes.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use now_sim::{Ctx, Pid, SimTime};
 
@@ -168,7 +168,7 @@ pub(crate) struct GroupRuntime<A: Application> {
     retained_causal: BTreeMap<MsgId, (VClock, A::Payload)>,
     retained_fifo: BTreeMap<MsgId, A::Payload>,
     retained_total: BTreeMap<u64, (MsgId, A::Payload)>,
-    delivered_ids: HashSet<MsgId>,
+    delivered_ids: BTreeSet<MsgId>,
 
     // --- stability ---
     stab_seen: BTreeMap<Pid, StabilityVector>,
@@ -186,7 +186,7 @@ pub(crate) struct GroupRuntime<A: Application> {
     pub(crate) leaving: bool,
 
     // --- ack tracking for my want_ack casts ---
-    ack_counts: HashMap<MsgId, usize>,
+    ack_counts: BTreeMap<MsgId, usize>,
 
     // --- reordering across views ---
     pub(crate) future_inbox: Vec<(Pid, MsgOf<A>)>,
@@ -223,7 +223,7 @@ impl<A: Application> GroupRuntime<A> {
             retained_causal: BTreeMap::new(),
             retained_fifo: BTreeMap::new(),
             retained_total: BTreeMap::new(),
-            delivered_ids: HashSet::new(),
+            delivered_ids: BTreeSet::new(),
             stab_seen: BTreeMap::new(),
             last_heard: BTreeMap::new(),
             suspects: BTreeSet::new(),
@@ -233,7 +233,7 @@ impl<A: Application> GroupRuntime<A> {
             pending_joiners: Vec::new(),
             pending_leavers: Vec::new(),
             leaving: false,
-            ack_counts: HashMap::new(),
+            ack_counts: BTreeMap::new(),
             future_inbox: Vec::new(),
         };
         rt.reset_liveness(now);

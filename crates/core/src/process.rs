@@ -1,7 +1,7 @@
 //! The ISIS process: one simulated workstation process running the full
 //! group communication stack plus an [`Application`] on top.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use now_sim::{Ctx, Pid, Process, SimTime, TimerId};
 
@@ -36,9 +36,9 @@ struct JoinState {
 pub struct IsisProcess<A: Application> {
     app: A,
     cfg: IsisConfig,
-    groups: HashMap<GroupId, GroupRuntime<A>>,
-    views_cache: HashMap<GroupId, GroupView>,
-    joining: HashMap<GroupId, JoinState>,
+    groups: BTreeMap<GroupId, GroupRuntime<A>>,
+    views_cache: BTreeMap<GroupId, GroupView>,
+    joining: BTreeMap<GroupId, JoinState>,
     orphans: Vec<(Pid, MsgOf<A>)>,
 }
 
@@ -48,9 +48,9 @@ impl<A: Application> IsisProcess<A> {
         IsisProcess {
             app,
             cfg,
-            groups: HashMap::new(),
-            views_cache: HashMap::new(),
-            joining: HashMap::new(),
+            groups: BTreeMap::new(),
+            views_cache: BTreeMap::new(),
+            joining: BTreeMap::new(),
             orphans: Vec::new(),
         }
     }
@@ -433,7 +433,7 @@ impl<A: Application> IsisProcess<A> {
                 ctx.send(to, IsisMsg::Direct(payload));
             }
             UpOp::CreateGroup { gid } => {
-                if let std::collections::hash_map::Entry::Vacant(e) = self.groups.entry(gid) {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.groups.entry(gid) {
                     let rt = GroupRuntime::new_created(gid, ctx.me(), ctx.now());
                     let view = rt.view.clone();
                     e.insert(rt);

@@ -124,10 +124,10 @@ pub fn generic_cluster<A: Application>(
         .enumerate()
         .map(|(i, &nd)| sim.spawn(nd, IsisProcess::new(mk(i), icfg.clone())))
         .collect();
-    sim.invoke(pids[0], |p, ctx| p.create_group(gid, ctx).unwrap());
+    sim.invoke(pids[0], |p, ctx| p.create_group(gid, ctx).expect("fresh gid cannot collide"));
     for &p in &pids[1..] {
         let contact = pids[0];
-        sim.invoke(p, move |proc_, ctx| proc_.join(gid, contact, ctx).unwrap());
+        sim.invoke(p, move |proc_, ctx| proc_.join(gid, contact, ctx).expect("group was just created"));
     }
     let deadline = sim.now() + SimDuration::from_secs(300);
     loop {
@@ -184,10 +184,10 @@ fn cluster_with_net(n: usize, cfg: IsisConfig, sim_cfg: SimConfig) -> Cluster {
         .iter()
         .map(|&nd| sim.spawn(nd, IsisProcess::new(RecorderApp::default(), cfg.clone())))
         .collect();
-    sim.invoke(pids[0], |p, ctx| p.create_group(gid, ctx).unwrap());
+    sim.invoke(pids[0], |p, ctx| p.create_group(gid, ctx).expect("fresh gid cannot collide"));
     for &p in &pids[1..] {
         let contact = pids[0];
-        sim.invoke(p, |proc_, ctx| proc_.join(gid, contact, ctx).unwrap());
+        sim.invoke(p, |proc_, ctx| proc_.join(gid, contact, ctx).expect("group was just created"));
     }
     let mut c = Cluster {
         sim,
@@ -258,7 +258,7 @@ impl Cluster {
         let gid = self.gid;
         let pl = payload.to_owned();
         self.sim
-            .invoke(from, move |p, ctx| p.cast(gid, kind, pl, ctx).unwrap())
+            .invoke(from, move |p, ctx| p.cast(gid, kind, pl, ctx).expect("caster is a member"))
             .expect("caster is alive");
         self.settle();
     }

@@ -45,7 +45,7 @@ fn one_process_in_many_groups() {
 #[test]
 fn per_category_send_counters_are_populated() {
     let mut c = cluster(3, IsisConfig::default(), 5);
-    let gid = c.gid;
+    let _gid = c.gid;
     c.cast_and_settle(c.pids[0], CastKind::Total, "x");
     c.cast_and_settle(c.pids[1], CastKind::Causal, "y");
     c.sim.run_for(SimDuration::from_secs(2));

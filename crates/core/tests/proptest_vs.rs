@@ -7,7 +7,7 @@
 use isis_core::testutil::{cluster_lan, Cluster};
 use isis_core::{CastKind, IsisConfig};
 use now_sim::{Pid, SimDuration};
-use proptest::prelude::*;
+use now_sim::detprop::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -93,7 +93,7 @@ proptest! {
 
     #[test]
     fn virtual_synchrony_invariants_hold(
-        ops in proptest::collection::vec(op_strategy(), 1..40),
+        ops in prop::collection::vec(op_strategy(), 1..40),
         seed in 0u64..10_000,
     ) {
         let (c, survivors) = run_schedule(&ops, seed);

@@ -1,0 +1,59 @@
+//! CLI for the determinism linter: `cargo run -p detlint [-- --json] [root]`.
+//!
+//! Exits 0 when the tree is clean, 1 when any finding (or a bare allow
+//! directive) survives, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::{default_root, lint_workspace, to_json, Rule};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: detlint [--json] [workspace-root]");
+                return ExitCode::from(0);
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        let per_rule: Vec<String> = Rule::ALL
+            .iter()
+            .map(|r| (r, findings.iter().filter(|f| f.rule == *r).count()))
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        if findings.is_empty() {
+            println!("detlint: clean ({} rules enforced)", Rule::ALL.len());
+        } else {
+            println!("detlint: {} finding(s) [{}]", findings.len(), per_rule.join(", "));
+        }
+    }
+    ExitCode::from(if findings.is_empty() { 0 } else { 1 })
+}

@@ -1,0 +1,272 @@
+//! Source scrubbing: a small lexer that removes comments and string
+//! contents from Rust source so the rule passes can match tokens without
+//! being fooled by doc text or payload literals, while keeping the comment
+//! text available for `// detlint: allow(...)` directives.
+//!
+//! The output preserves line structure exactly: scrubbed line `i`
+//! corresponds to source line `i`, so findings carry real line numbers.
+
+/// One source line after scrubbing.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// The code with comments removed; string literals keep their quotes but
+    /// their contents collapse to `S` (or nothing when the literal is
+    /// empty), so `.expect("")` remains distinguishable from `.expect("x")`.
+    pub code: String,
+    /// Concatenated comment text of the line (line and block comments).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` or `#[test]` region.
+    pub in_test: bool,
+}
+
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32>, any: bool },
+}
+
+/// Scrubs `src` into per-line code/comment pairs and marks test regions.
+pub fn scrub(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if let State::LineComment = state {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str { raw_hashes: None, any: false };
+                    i += 1;
+                } else if c == 'r' && is_raw_string_start(&chars, i) {
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    cur.code.push('"');
+                    state = State::Str { raw_hashes: Some(hashes), any: false };
+                    i = j + 1; // past the opening quote
+                } else if c == '\'' {
+                    // Char literal or lifetime. `'x'` / `'\..'` are literals;
+                    // everything else is a lifetime tick.
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        cur.code.push_str("' '");
+                        i = end;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes, any } => {
+                let closed = match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            i += 2; // skip the escaped char
+                            state = State::Str { raw_hashes, any: true };
+                            continue;
+                        }
+                        c == '"'
+                    }
+                    Some(h) => {
+                        c == '"' && (0..h).all(|k| chars.get(i + 1 + k as usize) == Some(&'#'))
+                    }
+                };
+                if closed {
+                    if any {
+                        cur.code.push('S');
+                    }
+                    cur.code.push('"');
+                    i += 1 + raw_hashes.unwrap_or(0) as usize;
+                    state = State::Code;
+                } else {
+                    i += 1;
+                    state = State::Str { raw_hashes, any: true };
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `r"`, `r#"`, `r##"`, … — but not a plain identifier containing `r`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be preceded by an identifier character (e.g. `for r in ..`
+    // is fine either way, but `var"` is not a raw string).
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// If position `i` (a `'`) starts a char literal, returns the index just
+/// past its closing quote.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the closing quote (handles '\n', '\u{..}').
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                j += 1;
+            }
+            (chars.get(j) == Some(&'\'')).then_some(j + 1)
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 3),
+        _ => None,
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]` / `#[test]` item's braces.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: usize = 0;
+    let mut pending_attr = false;
+    let mut test_starts: Vec<usize> = Vec::new(); // depths owning a test region
+    for line in lines.iter_mut() {
+        let started_in_test = !test_starts.is_empty();
+        if line.code.contains("#[cfg(test)]")
+            || line.code.contains("#[test]")
+            || line.code.contains("#[cfg(all(test")
+        {
+            pending_attr = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr {
+                        test_starts.push(depth);
+                        pending_attr = false;
+                    }
+                }
+                '}' => {
+                    if test_starts.last() == Some(&depth) {
+                        test_starts.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // An attribute that applied to a braceless item
+                // (`#[cfg(test)] use …;`) stops being pending.
+                ';' => pending_attr = false,
+                _ => {}
+            }
+        }
+        line.in_test = started_in_test || !test_starts.is_empty() || pending_attr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_removed_but_kept_for_directives() {
+        let l = scrub("let x = 1; // detlint: allow(R1): because\nlet y = 2;");
+        assert_eq!(l[0].code.trim_end(), "let x = 1;");
+        assert!(l[0].comment.contains("detlint: allow(R1)"));
+        assert_eq!(l[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn strings_collapse_but_keep_emptiness() {
+        let l = scrub(r#"a.expect(""); b.expect("msg"); c("HashMap");"#);
+        assert!(l[0].code.contains(r#"expect("")"#));
+        assert!(l[0].code.contains(r#"expect("S")"#));
+        assert!(!l[0].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_do_not_confuse_the_lexer() {
+        let l = scrub("let s = r#\"no \" end\"#; let t = \"a\\\"b\"; x();");
+        assert!(l[0].code.contains("x();"));
+        assert!(!l[0].code.contains("end"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = scrub("fn f<'a>(x: &'a str) -> char { '}' }");
+        // The '}' literal must not close the brace depth.
+        assert!(l[0].code.contains("' '"));
+        assert!(l[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let l = scrub("a();\n/* HashMap\n still comment */ b();");
+        assert_eq!(l[1].code, "");
+        assert!(l[1].comment.contains("HashMap"));
+        assert!(l[2].code.contains("b();"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let l = scrub(src);
+        assert!(!l[0].in_test);
+        assert!(l[1].in_test); // the attribute line itself
+        assert!(l[2].in_test);
+        assert!(l[3].in_test);
+        assert!(l[4].in_test);
+        assert!(!l[5].in_test);
+    }
+
+    #[test]
+    fn test_attr_on_fn_marks_only_that_fn() {
+        let src = "#[test]\nfn t() {\n  boom();\n}\nfn live() {}";
+        let l = scrub(src);
+        assert!(l[1].in_test && l[2].in_test && l[3].in_test);
+        assert!(!l[4].in_test);
+    }
+}

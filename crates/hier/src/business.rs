@@ -41,7 +41,7 @@ pub struct LargeUplink<'x, 'a, 'b, B: LargeApp> {
     pub(crate) up: &'x mut Uplink<'a, 'b, crate::member::HierApp<B>>,
     pub(crate) ops: &'x mut Vec<LargeOp<B::Payload>>,
     pub(crate) leaf_view: Option<&'x GroupView>,
-    pub(crate) slices: &'x std::collections::HashMap<LargeGroupId, crate::view::RoutingSlice>,
+    pub(crate) slices: &'x std::collections::BTreeMap<LargeGroupId, crate::view::RoutingSlice>,
 }
 
 impl<'x, 'a, 'b, B: LargeApp> LargeUplink<'x, 'a, 'b, B> {
@@ -121,7 +121,7 @@ impl<'x, 'a, 'b, B: LargeApp> LargeUplink<'x, 'a, 'b, B> {
     }
 
     /// Deterministic randomness.
-    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+    pub fn rng(&mut self) -> &mut now_sim::DetRng {
         self.up.rng()
     }
 }

@@ -16,7 +16,7 @@
 //! — the coordinator-cohort pattern from the ISIS toolkit, applied to the
 //! hierarchy manager itself.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use now_sim::Pid;
 
@@ -44,11 +44,11 @@ pub(crate) struct LeaderReplica {
     pub resiliency: usize,
     pub min_leaf: usize,
     pub max_leaf: usize,
-    pub pending: HashMap<GroupId, PendingOp>,
+    pub pending: BTreeMap<GroupId, PendingOp>,
     /// Consecutive undersize reports per leaf; a dissolve fires only after
     /// [`UNDERSIZE_STRIKES`] of them, so young leaves that are still
     /// filling up are not merged away.
-    pub strikes: HashMap<GroupId, u32>,
+    pub strikes: BTreeMap<GroupId, u32>,
     /// Current leader-group membership (oldest first).
     pub leader_members: Vec<Pid>,
 }
@@ -68,8 +68,8 @@ impl LeaderReplica {
             resiliency: cfg.resiliency,
             min_leaf: cfg.min_leaf,
             max_leaf: cfg.max_leaf,
-            pending: HashMap::new(),
-            strikes: HashMap::new(),
+            pending: BTreeMap::new(),
+            strikes: BTreeMap::new(),
             leader_members,
         }
     }
@@ -88,8 +88,8 @@ impl LeaderReplica {
             resiliency,
             min_leaf,
             max_leaf,
-            pending: HashMap::new(),
-            strikes: HashMap::new(),
+            pending: BTreeMap::new(),
+            strikes: BTreeMap::new(),
         }
     }
 

@@ -11,7 +11,7 @@
 //!
 //! A business application ([`LargeApp`]) rides on top.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use now_sim::{Pid, SimTime};
 
@@ -69,10 +69,10 @@ pub(crate) struct MemberState<Q> {
     pub leaf_members: Vec<Pid>,
     /// Origin-side broadcast sequencing and tracking.
     pub next_seq: u64,
-    pub out: HashMap<LbcastId, OutLbcast<Q>>,
+    pub out: BTreeMap<LbcastId, OutLbcast<Q>>,
     /// Delivery dedup window.
     seen: VecDeque<LbcastId>,
-    seen_set: HashSet<LbcastId>,
+    seen_set: BTreeSet<LbcastId>,
     /// Highest global sequence number delivered here; seeds a fresh
     /// representative's sequencing state after a rep transition.
     pub max_lseq_seen: u64,
@@ -100,9 +100,9 @@ impl<Q> MemberState<Q> {
             migrate_attempts: 0,
             leaf_members: Vec::new(),
             next_seq: 0,
-            out: HashMap::new(),
+            out: BTreeMap::new(),
             seen: VecDeque::new(),
-            seen_set: HashSet::new(),
+            seen_set: BTreeSet::new(),
             max_lseq_seen: 0,
             migrating_to: None,
             old_leaf: None,
@@ -137,14 +137,14 @@ impl<Q> MemberState<Q> {
 pub struct HierApp<B: LargeApp> {
     pub(crate) biz: B,
     pub(crate) timers: LargeGroupConfig,
-    pub(crate) members: HashMap<LargeGroupId, MemberState<B::Payload>>,
-    pub(crate) reps: HashMap<LargeGroupId, RepState<B::Payload>>,
-    pub(crate) leaders: HashMap<LargeGroupId, LeaderReplica>,
+    pub(crate) members: BTreeMap<LargeGroupId, MemberState<B::Payload>>,
+    pub(crate) reps: BTreeMap<LargeGroupId, RepState<B::Payload>>,
+    pub(crate) leaders: BTreeMap<LargeGroupId, LeaderReplica>,
     /// Active-leader-only: last beacon seen from each root leaf.
-    pub(crate) root_beacons: HashMap<LargeGroupId, SimTime>,
+    pub(crate) root_beacons: BTreeMap<LargeGroupId, SimTime>,
     /// Read-only copy of each rep role's routing slice, exposed to the
     /// business application through [`LargeUplink::routing_slice`].
-    pub(crate) slices_cache: HashMap<LargeGroupId, crate::view::RoutingSlice>,
+    pub(crate) slices_cache: BTreeMap<LargeGroupId, crate::view::RoutingSlice>,
 }
 
 impl<B: LargeApp> HierApp<B> {
@@ -160,11 +160,11 @@ impl<B: LargeApp> HierApp<B> {
         HierApp {
             biz,
             timers,
-            members: HashMap::new(),
-            reps: HashMap::new(),
-            leaders: HashMap::new(),
-            root_beacons: HashMap::new(),
-            slices_cache: HashMap::new(),
+            members: BTreeMap::new(),
+            reps: BTreeMap::new(),
+            leaders: BTreeMap::new(),
+            root_beacons: BTreeMap::new(),
+            slices_cache: BTreeMap::new(),
         }
     }
 

@@ -10,7 +10,7 @@
 //! churn is handled by re-resolution (contacts are only entry points —
 //! the admission protocol tolerates stale ones by retrying).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap};
 
 use now_sim::Pid;
 
@@ -49,7 +49,7 @@ pub struct NameService {
     // Client side.
     next_ticket: u64,
     /// Answers received: ticket → entry.
-    pub answers: HashMap<u64, Option<(LargeGroupId, Vec<Pid>)>>,
+    pub answers: BTreeMap<u64, Option<(LargeGroupId, Vec<Pid>)>>,
 }
 
 impl NameService {

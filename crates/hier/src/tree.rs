@@ -10,7 +10,7 @@
 //! paper's `resiliency` acks and `Complete` when every subtree has
 //! acknowledged.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use now_sim::{Pid, SimTime};
 
@@ -58,12 +58,12 @@ pub(crate) struct RepState<Q> {
     pub unacked: BTreeMap<u64, Track<Q>>,
     /// Root only: global sequencing state.
     pub next_lseq: u64,
-    pub assigned: HashMap<LbcastId, u64>,
+    pub assigned: BTreeMap<LbcastId, u64>,
     pub assigned_order: VecDeque<LbcastId>,
     /// Origin of each stamped lseq (root only, for origin acks).
-    pub origin_of: HashMap<u64, Pid>,
+    pub origin_of: BTreeMap<u64, Pid>,
     /// Child-leaf liveness (total-failure detection).
-    pub child_last: HashMap<GroupId, SimTime>,
+    pub child_last: BTreeMap<GroupId, SimTime>,
     /// Dead children already reported (avoid report storms).
     pub reported_dead: BTreeSet<GroupId>,
     /// Last periodic contacts refresh sent to the leader.
@@ -89,10 +89,10 @@ impl<Q> RepState<Q> {
             ooo_since: None,
             unacked: BTreeMap::new(),
             next_lseq: 1,
-            assigned: HashMap::new(),
+            assigned: BTreeMap::new(),
             assigned_order: VecDeque::new(),
-            origin_of: HashMap::new(),
-            child_last: HashMap::new(),
+            origin_of: BTreeMap::new(),
+            child_last: BTreeMap::new(),
             reported_dead: BTreeSet::new(),
             last_report: SimTime::ZERO,
             last_beacon: SimTime::ZERO,

@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn every_leaf_reachable_from_root() {
         let v = view(33, 4);
-        let mut seen = vec![false; 33];
+        let mut seen = [false; 33];
         let mut stack = vec![0usize];
         while let Some(i) = stack.pop() {
             seen[i] = true;

@@ -5,7 +5,7 @@
 use isis_hier::config::LargeGroupConfig;
 use isis_hier::harness::large_cluster_lan;
 use now_sim::SimDuration;
-use proptest::prelude::*;
+use now_sim::detprop::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -27,7 +27,7 @@ proptest! {
 
     #[test]
     fn hierarchy_invariants_under_churn(
-        ops in proptest::collection::vec(op_strategy(), 1..25),
+        ops in prop::collection::vec(op_strategy(), 1..25),
         seed in 0u64..10_000,
     ) {
         const N: usize = 20;

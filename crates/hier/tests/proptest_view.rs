@@ -2,10 +2,9 @@
 //! a well-formed spanning tree for any (leaves, fanout), slices are
 //! bounded, and slice extraction is consistent with the tree relations.
 
-use isis_core::GroupId;
 use isis_hier::{HierView, LargeGroupId, LeafDesc};
 use now_sim::Pid;
-use proptest::prelude::*;
+use now_sim::detprop::prelude::*;
 
 fn view(nleaves: usize, fanout: usize, resiliency: usize) -> HierView {
     let lgid = LargeGroupId(1);

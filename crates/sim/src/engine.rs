@@ -8,10 +8,9 @@
 //! the experiment harness make exact claims about message counts.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, BTreeSet};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::det_rand::DetRng;
 
 use crate::ids::{NodeId, Pid, SiteId, TimerId};
 use crate::net::{NetConfig, Partition};
@@ -51,7 +50,7 @@ pub trait Process: 'static {
 pub struct Ctx<'a, M> {
     now: SimTime,
     me: Pid,
-    rng: &'a mut StdRng,
+    rng: &'a mut DetRng,
     stats: &'a mut Stats,
     obs: &'a mut ObservationLog,
     next_timer: &'a mut u64,
@@ -119,7 +118,7 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Deterministic randomness for protocol-level choices.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut DetRng {
         self.rng
     }
 
@@ -224,20 +223,20 @@ pub struct Sim<P: Process> {
     procs: Vec<Option<Slot<P>>>,
     node_sites: Vec<SiteId>,
     partition: Partition,
-    rng: StdRng,
+    rng: DetRng,
     stats: Stats,
     obs: ObservationLog,
-    cancelled: HashSet<TimerId>,
+    cancelled: BTreeSet<TimerId>,
     next_timer: u64,
     /// Per ordered (src, dst) pair: latest scheduled arrival, used to keep
     /// channels FIFO when `NetConfig::fifo` is set.
-    channel_clock: std::collections::HashMap<(Pid, Pid), SimTime>,
+    channel_clock: std::collections::BTreeMap<(Pid, Pid), SimTime>,
 }
 
 impl<P: Process> Sim<P> {
     /// Creates an empty world.
     pub fn new(cfg: SimConfig) -> Sim<P> {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = DetRng::seed_from_u64(cfg.seed);
         Sim {
             cfg,
             now: SimTime::ZERO,
@@ -249,9 +248,9 @@ impl<P: Process> Sim<P> {
             rng,
             stats: Stats::default(),
             obs: ObservationLog::default(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_timer: 0,
-            channel_clock: std::collections::HashMap::new(),
+            channel_clock: std::collections::BTreeMap::new(),
         }
     }
 
@@ -373,7 +372,7 @@ impl<P: Process> Sim<P> {
     }
 
     /// Harness randomness drawn from the same deterministic stream.
-    pub fn rng_mut(&mut self) -> &mut StdRng {
+    pub fn rng_mut(&mut self) -> &mut DetRng {
         &mut self.rng
     }
 

@@ -6,7 +6,7 @@
 //! into concrete crash schedules, so experiments E4/E5/E10 can inject the
 //! same failure pattern into flat and hierarchical configurations.
 
-use rand::Rng;
+use crate::det_rand::Rng;
 use rand_distr_shim::sample_exponential;
 
 use crate::ids::Pid;
@@ -91,7 +91,7 @@ pub fn prob_total_failure(r: usize, p: f64) -> f64 {
 
 /// Minimal exponential sampling without pulling in `rand_distr`.
 mod rand_distr_shim {
-    use rand::Rng;
+    use crate::det_rand::Rng;
 
     /// Samples Exp(1/mean) by inverse transform.
     pub fn sample_exponential<R: Rng>(mean: f64, rng: &mut R) -> f64 {
@@ -103,8 +103,7 @@ mod rand_distr_shim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::det_rand::DetRng;
 
     fn pids(n: u32) -> Vec<Pid> {
         (0..n).map(Pid).collect()
@@ -112,7 +111,7 @@ mod tests {
 
     #[test]
     fn mtbf_schedule_is_sorted_and_within_horizon() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let plan = mtbf_schedule(
             &pids(100),
             SimDuration::from_secs(100),
@@ -130,7 +129,7 @@ mod tests {
     #[test]
     fn mtbf_schedule_scales_with_population() {
         // With horizon == mtbf, each process fails with prob 1-1/e ~ 63%.
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let small = mtbf_schedule(
             &pids(50),
             SimDuration::from_secs(10),
@@ -148,7 +147,7 @@ mod tests {
 
     #[test]
     fn staged_crashes_picks_distinct_victims() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let plan = staged_crashes(&pids(20), 10, SimTime(0), SimTime(1_000_000), &mut rng);
         let mut victims: Vec<Pid> = plan.iter().map(|c| c.victim).collect();
         victims.sort();
@@ -162,7 +161,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot crash more")]
     fn staged_crashes_rejects_oversized_k() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let _ = staged_crashes(&pids(3), 4, SimTime(0), SimTime(10), &mut rng);
     }
 
@@ -180,7 +179,7 @@ mod tests {
 
     #[test]
     fn exponential_sample_mean_is_plausible() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let mean = 1_000.0;
         let n = 20_000;
         let sum: f64 = (0..n)

@@ -31,6 +31,8 @@
 //! assert_eq!(sim.process(p).0, 7);
 //! ```
 
+pub mod det_rand;
+pub mod detprop;
 pub mod engine;
 pub mod failure;
 pub mod ids;
@@ -38,6 +40,7 @@ pub mod net;
 pub mod stats;
 pub mod time;
 
+pub use det_rand::{DetRng, Rng};
 pub use engine::{Ctx, Process, Sim, SimConfig};
 pub use ids::{NodeId, Pid, SiteId, TimerId};
 pub use net::{LinkModel, NetConfig, Partition};

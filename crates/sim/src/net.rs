@@ -6,9 +6,9 @@
 //! between sites (section 5 of the paper mentions "considerations of
 //! long-distance links").
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
-use rand::Rng;
+use crate::det_rand::Rng;
 
 use crate::ids::NodeId;
 use crate::time::SimDuration;
@@ -123,7 +123,7 @@ impl NetConfig {
 pub struct Partition {
     /// Nodes explicitly placed in a non-default partition cell.
     /// Nodes absent from the map are in cell 0.
-    cells: std::collections::HashMap<NodeId, u32>,
+    cells: std::collections::BTreeMap<NodeId, u32>,
 }
 
 impl Partition {
@@ -172,8 +172,8 @@ impl Partition {
     }
 
     /// Returns the set of distinct cells currently in use (including 0).
-    pub fn cells_in_use(&self) -> HashSet<u32> {
-        let mut s: HashSet<u32> = self.cells.values().copied().collect();
+    pub fn cells_in_use(&self) -> BTreeSet<u32> {
+        let mut s: BTreeSet<u32> = self.cells.values().copied().collect();
         s.insert(0);
         s
     }
@@ -182,12 +182,11 @@ impl Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::det_rand::DetRng;
 
     #[test]
     fn lan_latency_includes_size_component() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let m = LinkModel {
             jitter: SimDuration::ZERO,
             ..LinkModel::lan()
@@ -203,7 +202,7 @@ mod tests {
 
     #[test]
     fn ideal_link_is_deterministic() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let m = LinkModel::ideal();
         let a = m.sample_latency(500, &mut rng);
         let b = m.sample_latency(500, &mut rng);
@@ -213,7 +212,7 @@ mod tests {
 
     #[test]
     fn jitter_stays_within_bound() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         let m = LinkModel::lan();
         for _ in 0..200 {
             let l = m.sample_latency(0, &mut rng);
@@ -224,7 +223,7 @@ mod tests {
 
     #[test]
     fn drop_probability_is_roughly_honoured() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let m = LinkModel {
             drop_prob: 0.5,
             ..LinkModel::lan()

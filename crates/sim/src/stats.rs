@@ -5,7 +5,7 @@
 //! collected *here*, centrally, so protocol code needs no instrumentation
 //! beyond optional named counters and latency samples.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ids::Pid;
 use crate::time::{SimDuration, SimTime};
@@ -115,7 +115,7 @@ pub struct Stats {
     per_proc: Vec<ProcStats>,
     /// Distinct destinations each process has contacted. Enabled on demand
     /// because it costs a hash-set per process.
-    fanout_tracking: Option<Vec<HashSet<Pid>>>,
+    fanout_tracking: Option<Vec<BTreeSet<Pid>>>,
     /// Named event counters (e.g. `"view_changes"`).
     counters: BTreeMap<String, u64>,
     /// Named sample series (e.g. `"request_latency_ms"`).
@@ -127,7 +127,7 @@ impl Stats {
     pub fn enable_fanout_tracking(&mut self) {
         if self.fanout_tracking.is_none() {
             let n = self.per_proc.len();
-            self.fanout_tracking = Some(vec![HashSet::new(); n]);
+            self.fanout_tracking = Some(vec![BTreeSet::new(); n]);
         }
     }
 
@@ -136,7 +136,7 @@ impl Stats {
         if self.per_proc.len() <= idx {
             self.per_proc.resize_with(idx + 1, ProcStats::default);
             if let Some(f) = &mut self.fanout_tracking {
-                f.resize_with(idx + 1, HashSet::new);
+                f.resize_with(idx + 1, BTreeSet::new);
             }
         }
     }
@@ -188,7 +188,7 @@ impl Stats {
             .fanout_tracking
             .as_ref()
             .expect("fanout tracking not enabled");
-        f.get(pid.0 as usize).map_or(0, HashSet::len)
+        f.get(pid.0 as usize).map_or(0, BTreeSet::len)
     }
 
     /// The largest distinct-destination count over all processes — the
@@ -198,7 +198,7 @@ impl Stats {
             .fanout_tracking
             .as_ref()
             .expect("fanout tracking not enabled");
-        f.iter().map(HashSet::len).max().unwrap_or(0)
+        f.iter().map(BTreeSet::len).max().unwrap_or(0)
     }
 
     /// Adds `n` to the named counter.
@@ -345,9 +345,9 @@ impl<K: Ord> CountMap<K> {
     }
 }
 
-/// Extension: aggregates a `HashMap<Pid, u64>` into the hottest entries, for
+/// Extension: aggregates a `BTreeMap<Pid, u64>` into the hottest entries, for
 /// reports about which processes carry the load.
-pub fn hottest(map: &HashMap<Pid, u64>, k: usize) -> Vec<(Pid, u64)> {
+pub fn hottest(map: &BTreeMap<Pid, u64>, k: usize) -> Vec<(Pid, u64)> {
     let mut v: Vec<(Pid, u64)> = map.iter().map(|(p, c)| (*p, *c)).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(k);
@@ -476,7 +476,7 @@ mod tests {
 
     #[test]
     fn hottest_sorts_descending() {
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         m.insert(Pid(1), 5);
         m.insert(Pid(2), 9);
         m.insert(Pid(3), 9);

@@ -5,7 +5,7 @@
 use now_sim::{
     Ctx, LinkModel, NetConfig, Partition, Pid, Process, Sim, SimConfig, SimDuration, SimTime,
 };
-use proptest::prelude::*;
+use now_sim::detprop::prelude::*;
 
 /// Records every delivery with its arrival time.
 #[derive(Default)]

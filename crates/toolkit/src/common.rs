@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn shard_routing_is_deterministic_and_spread() {
         assert_eq!(shard_of("abc", 7), shard_of("abc", 7));
-        let mut hit = vec![0usize; 8];
+        let mut hit = [0usize; 8];
         for i in 0..800 {
             hit[shard_of(&format!("key{i}"), 8)] += 1;
         }

@@ -7,7 +7,7 @@
 //! message per member, paid by the single initiator — the per-process load
 //! the hierarchical variant (`crate::hier::parallel`) bounds by `fanout`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use now_sim::Pid;
 
@@ -38,9 +38,9 @@ pub struct FlatParallel {
     view: Option<GroupView>,
     next_task: u64,
     /// Initiator-side: per-task remaining worker count and running sum.
-    collecting: HashMap<u64, (usize, u64)>,
+    collecting: BTreeMap<u64, (usize, u64)>,
     /// Completed tasks: task -> total.
-    pub results: HashMap<u64, u64>,
+    pub results: BTreeMap<u64, u64>,
 }
 
 impl FlatParallel {

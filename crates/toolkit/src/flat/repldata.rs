@@ -10,7 +10,7 @@
 //! per write plus `O(n)` storage per member, which the hierarchical
 //! partitioned store (`crate::hier::service`) bounds per leaf.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use now_sim::Pid;
 
@@ -40,7 +40,7 @@ pub struct ReplData {
     // Client side.
     next_ticket: u64,
     /// Read results: ticket → value.
-    pub reads: HashMap<u64, Option<String>>,
+    pub reads: BTreeMap<u64, Option<String>>,
 }
 
 impl ReplData {

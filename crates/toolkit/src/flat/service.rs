@@ -13,7 +13,7 @@
 //! (`n` request copies + 1 client reply + `n-1` result copies), which
 //! experiment E1 measures.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use now_sim::{Pid, SimDuration, SimTime};
 
@@ -56,9 +56,9 @@ pub struct FlatService {
     // --- client side ---
     next_seq: u64,
     /// Replies received: req -> reply.
-    pub replies: HashMap<ReqId, String>,
+    pub replies: BTreeMap<ReqId, String>,
     /// Outstanding client requests for retry: req -> (body, members, last).
-    outstanding: HashMap<ReqId, (String, Vec<Pid>, SimTime)>,
+    outstanding: BTreeMap<ReqId, (String, Vec<Pid>, SimTime)>,
     /// Client retry interval.
     pub retry: SimDuration,
 }
@@ -77,8 +77,8 @@ impl FlatService {
             completed: BTreeSet::new(),
             executed: Vec::new(),
             next_seq: 0,
-            replies: HashMap::new(),
-            outstanding: HashMap::new(),
+            replies: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
             retry: SimDuration::from_millis(1_500),
         }
     }

@@ -5,7 +5,7 @@
 //! No process talks to more than `fanout + leaf_size` others, in contrast
 //! to the flat tool's single initiator contacting all `n` members.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use now_sim::Pid;
 
@@ -69,9 +69,9 @@ pub struct TreeParallel {
     pub lgid: LargeGroupId,
     leaf_view: Option<GroupView>,
     next_task: u64,
-    folds: HashMap<u64, Fold>,
+    folds: BTreeMap<u64, Fold>,
     /// Completed tasks at their origins.
-    pub results: HashMap<u64, u64>,
+    pub results: BTreeMap<u64, u64>,
     /// The root-rep contact used to start tasks (directory role).
     pub root_contact: Option<Pid>,
 }
@@ -83,8 +83,8 @@ impl TreeParallel {
             lgid,
             leaf_view: None,
             next_task: 0,
-            folds: HashMap::new(),
-            results: HashMap::new(),
+            folds: BTreeMap::new(),
+            results: BTreeMap::new(),
             root_contact: None,
         }
     }

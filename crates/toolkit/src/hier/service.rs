@@ -19,7 +19,7 @@
 //! by the caller; the paper defers the large-scale name service to future
 //! work (section 5), so the directory plays that role here.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use now_sim::{Pid, SimDuration, SimTime};
 
@@ -146,7 +146,7 @@ pub struct LeafServiceApp {
     /// Current leaf view.
     leaf_view: Option<GroupView>,
     /// Keys locked by staged transactions: key -> txn.
-    lock_table: HashMap<String, u64>,
+    lock_table: BTreeMap<String, u64>,
     staged: BTreeMap<u64, StagedTxn>,
     /// Replicated per-lock waiter queues (mutex tool).
     lock_queues: BTreeMap<String, VecDeque<Pid>>,
@@ -155,11 +155,11 @@ pub struct LeafServiceApp {
     next_seq: u64,
     next_txn: u64,
     /// Replies to our requests.
-    pub replies: HashMap<ReqId, String>,
-    outstanding: HashMap<ReqId, (String, Vec<Pid>, SimTime)>,
-    txns: HashMap<u64, TxnProgress>,
+    pub replies: BTreeMap<ReqId, String>,
+    outstanding: BTreeMap<ReqId, (String, Vec<Pid>, SimTime)>,
+    txns: BTreeMap<u64, TxnProgress>,
     /// Transaction outcomes: txn -> committed.
-    pub txn_results: HashMap<u64, bool>,
+    pub txn_results: BTreeMap<u64, bool>,
     /// Locks we currently hold (granted by their home leaves).
     pub held_locks: Vec<String>,
     /// Shard carried across a leaf migration, broadcast after arrival.
@@ -181,15 +181,15 @@ impl LeafServiceApp {
             completed: BTreeSet::new(),
             executed: Vec::new(),
             leaf_view: None,
-            lock_table: HashMap::new(),
+            lock_table: BTreeMap::new(),
             staged: BTreeMap::new(),
             lock_queues: BTreeMap::new(),
             next_seq: 0,
             next_txn: 0,
-            replies: HashMap::new(),
-            outstanding: HashMap::new(),
-            txns: HashMap::new(),
-            txn_results: HashMap::new(),
+            replies: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            txns: BTreeMap::new(),
+            txn_results: BTreeMap::new(),
             held_locks: Vec::new(),
             carry: None,
             retry: SimDuration::from_millis(1_500),

@@ -7,7 +7,7 @@ use isis_core::{GroupId, IsisConfig};
 use isis_toolkit::common::{apply_command, KvState};
 use isis_toolkit::flat::FlatMutex;
 use now_sim::{Pid, SimConfig, SimDuration};
-use proptest::prelude::*;
+use now_sim::detprop::prelude::*;
 
 // ---------------------------------------------------------------------
 // KvState / command language
@@ -26,7 +26,7 @@ fn cmd_strategy() -> impl Strategy<Value = String> {
 
 proptest! {
     #[test]
-    fn command_replay_is_deterministic(cmds in proptest::collection::vec(cmd_strategy(), 0..60)) {
+    fn command_replay_is_deterministic(cmds in prop::collection::vec(cmd_strategy(), 0..60)) {
         let mut s1 = KvState::new();
         let mut s2 = KvState::new();
         let r1: Vec<String> = cmds.iter().map(|c| apply_command(&mut s1, c)).collect();
@@ -36,7 +36,7 @@ proptest! {
     }
 
     #[test]
-    fn reads_never_mutate(cmds in proptest::collection::vec(cmd_strategy(), 0..40)) {
+    fn reads_never_mutate(cmds in prop::collection::vec(cmd_strategy(), 0..40)) {
         let mut s = KvState::new();
         for c in &cmds {
             apply_command(&mut s, c);
@@ -51,7 +51,7 @@ proptest! {
     }
 
     #[test]
-    fn add_is_commutative_in_total(deltas in proptest::collection::vec(-100i64..100, 1..30)) {
+    fn add_is_commutative_in_total(deltas in prop::collection::vec(-100i64..100, 1..30)) {
         let mut forward = KvState::new();
         for d in &deltas {
             apply_command(&mut forward, &format!("ADD k {d}"));
@@ -92,7 +92,7 @@ proptest! {
 
     #[test]
     fn mutex_safety_under_random_schedules(
-        ops in proptest::collection::vec(mx_strategy(), 1..30),
+        ops in prop::collection::vec(mx_strategy(), 1..30),
         seed in 0u64..10_000,
     ) {
         const N: usize = 5;

@@ -242,15 +242,14 @@ fn flat_parallel_computes_the_right_sum() {
 // Hierarchical service
 // ---------------------------------------------------------------------
 
-fn hier_cluster(
-    n: usize,
-    seed: u64,
-) -> (
+type HierCluster = (
     Sim<IsisProcess<HierApp<LeafServiceApp>>>,
     LargeGroupId,
     Vec<Pid>,
     Vec<Pid>,
-) {
+);
+
+fn hier_cluster(n: usize, seed: u64) -> HierCluster {
     let lgid = LargeGroupId(1);
     let cfg = LargeGroupConfig::new(2, 3);
     let mut sim: Sim<IsisProcess<HierApp<LeafServiceApp>>> =
@@ -380,18 +379,6 @@ fn hier_service_routes_by_key_and_replies() {
     let _ = members;
 }
 
-/// Bridges `IsisProcess::with_app` (which yields the `HierApp`) to a
-/// business-level callback. Mirrors what applications built on the stack
-/// do internally.
-fn p_with<B: isis_hier::LargeApp, R>(
-    app: &mut HierApp<B>,
-    up: &mut isis_core::Uplink<'_, '_, HierApp<B>>,
-    f: impl FnOnce(&mut B, &mut isis_hier::LargeUplink<'_, '_, '_, B>),
-) -> Option<R> {
-    app.with_business(up, f);
-    None
-}
-
 #[test]
 fn hier_txn_commits_across_leaves() {
     let (mut sim, lgid, leaders, members) = hier_cluster(12, 43);
@@ -430,14 +417,14 @@ fn hier_txn_commits_across_leaves() {
 }
 
 fn two_keys_in_different_leaves(dir: &Directory) -> (String, String) {
-    let mut k1 = None;
+    let mut k1: Option<(String, usize)> = None;
     for i in 0..1_000 {
         let k = format!("key{i}");
         let shard = isis_toolkit::shard_of(&k, dir.len());
-        match k1 {
+        match &k1 {
             None => k1 = Some((k, shard)),
-            Some((_, s1)) if shard != s1 => {
-                return (k1.unwrap().0, k);
+            Some((first, s1)) if shard != *s1 => {
+                return (first.clone(), k);
             }
             _ => {}
         }
