@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 gate, runnable offline on any machine with a Rust toolchain:
 #   1. release build of the whole workspace,
-#   2. full test suite (includes detlint's self-check and the determinism
-#      regression tests via workspace default-members),
-#   3. the determinism linter itself, emitting the machine-readable report.
+#   2. full test suite (includes detlint's self-check, the determinism
+#      regression tests, and the tracer on/off byte-identity proof),
+#   3. monitor-armed quick experiment sweep: every experiment runs with the
+#      online virtual-synchrony invariant monitors in panic mode, so any
+#      violation anywhere in the stack fails the gate,
+#   4. trace demo + Chrome export artifacts (tracectl smoke test),
+#   5. the determinism linter, emitting its machine-readable report.
 # Fails on the first broken step or on any non-allowlisted lint finding.
+# Artifacts land in BENCH_artifacts/.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+mkdir -p BENCH_artifacts
 
 echo "==> cargo build --release"
 cargo build --release
@@ -14,7 +21,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> QUICK=1 NOW_MONITORS=1 all_experiments (invariant monitors armed)"
+QUICK=1 NOW_MONITORS=1 cargo run --quiet --release -p isis-bench --bin all_experiments \
+    | tee BENCH_artifacts/experiments_quick.txt
+
+echo "==> trace demo + tracectl export"
+cargo run --quiet --release -p isis-bench --bin trace_demo
+cargo run --quiet --release -p now-trace --bin tracectl -- \
+    BENCH_artifacts/trace_demo.trace --chrome BENCH_artifacts/trace_demo.json
+
 echo "==> cargo run -p detlint -- --json"
-cargo run --quiet -p detlint -- --json
+cargo run --quiet -p detlint -- --json | tee BENCH_artifacts/detlint.json
 
 echo "==> ci: all green"

@@ -1,13 +1,130 @@
 //! Runs the full experiment suite and prints every table — the input for
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md — then re-runs a compact microbench set and writes the
+//! machine-readable `BENCH_results.json` (per-experiment headline numbers
+//! plus microbench timings) so the performance trajectory can be tracked
+//! across PRs instead of only via prose tables.
+
+use isis_bench::experiments as ex;
+use isis_bench::harness::flat_service;
+use isis_bench::microbench::{self, BatchSize, Criterion};
+use isis_bench::report::json_escape;
+use isis_core::testutil::cluster;
+use isis_core::{CastKind, IsisConfig, VClock};
+use now_sim::{Pid, SimDuration};
+
 fn main() {
     let q = isis_bench::quick_mode();
-    use isis_bench::experiments as ex;
-    for t in [
+    let tables = [
         ex::e1(q), ex::e2(q), ex::e3(q), ex::e4(q), ex::e5(q), ex::e6(q),
         ex::e7(q), ex::e8(q), ex::e9(q), ex::e10(q), ex::a1(q), ex::a2(q),
         ex::partitions(q),
-    ] {
+    ];
+    for t in &tables {
         t.print();
     }
+
+    println!("== microbench ==");
+    microbenches(q);
+    let records = microbench::take_records();
+
+    let exp_json: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+    let mb_json: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+                json_escape(&r.name),
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                r.samples
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"quick\": {},\n\"experiments\": [\n{}\n],\n\"microbench\": [\n{}\n]\n}}\n",
+        q,
+        exp_json.join(",\n"),
+        mb_json.join(",\n")
+    );
+    match std::fs::write("BENCH_results.json", &json) {
+        Ok(()) => println!(
+            "wrote BENCH_results.json ({} experiments, {} microbenches)",
+            tables.len(),
+            records.len()
+        ),
+        Err(e) => eprintln!("could not write BENCH_results.json: {e}"),
+    }
+}
+
+/// A compact subset of `benches/hotpaths.rs`, cheap enough to ride along
+/// with every experiment sweep.
+fn microbenches(quick: bool) {
+    let mut c = Criterion::default();
+
+    let mut g = c.benchmark_group("vclock");
+    g.sample_size(if quick { 20 } else { 50 });
+    g.bench_function("bump_merge_compare_16", |b| {
+        let mut a = VClock::new();
+        let mut other = VClock::new();
+        for i in 0..16u32 {
+            a.set(Pid(i), u64::from(i) + 1);
+            other.set(Pid(i), (u64::from(i) * 7) % 13 + 1);
+        }
+        b.iter(|| {
+            let mut x = a.clone();
+            x.bump(Pid(3));
+            x.merge(&other);
+            std::hint::black_box(x.compare(&other));
+        });
+    });
+    g.bench_function("deliverable_16", |b| {
+        let mut delivered = VClock::new();
+        let mut stamp = VClock::new();
+        for i in 0..16u32 {
+            delivered.set(Pid(i), 10);
+            stamp.set(Pid(i), 10);
+        }
+        stamp.set(Pid(5), 11);
+        b.iter(|| std::hint::black_box(delivered.deliverable(Pid(5), &stamp)));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("flat_group");
+    g.sample_size(if quick { 3 } else { 10 });
+    g.bench_function("abcast_n8", |b| {
+        b.iter_batched(
+            || cluster(8, IsisConfig::quiet(), 42),
+            |mut cl| {
+                let sender = cl.pids[0];
+                let gid = cl.gid;
+                for i in 0..10 {
+                    cl.sim.invoke(sender, move |p, ctx| {
+                        p.cast(gid, CastKind::Total, format!("m{i}"), ctx).unwrap();
+                    });
+                }
+                cl.sim.run_for(SimDuration::from_secs(5));
+                assert_eq!(cl.sim.process(cl.pids[1]).app().payloads(gid).len(), 10);
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("request_path");
+    g.sample_size(if quick { 3 } else { 10 });
+    g.bench_function("flat_request_n8", |b| {
+        b.iter_batched(
+            || flat_service(8, 7),
+            |mut svc| {
+                let members = svc.members.clone();
+                svc.sim.invoke(svc.client, move |p, ctx| {
+                    p.with_app(ctx, |app, up| app.send_request(&members, "PUT k v", up))
+                });
+                svc.sim.run_for(SimDuration::from_secs(2));
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
 }

@@ -1,0 +1,67 @@
+//! Produces a real protocol trace for the `tracectl` quickstart and the CI
+//! artifact sweep: a flat coordinator-cohort service handles requests and
+//! survives a member crash under a monitor-armed tracer, then the full
+//! event log is written to `BENCH_artifacts/trace_demo.trace` (TSV, one
+//! event per line — feed it to `cargo run -p now-trace --bin tracectl`).
+//!
+//! Exits nonzero if any invariant monitor fired: a violation on this clean
+//! scenario means the protocol stack regressed.
+
+use std::process::ExitCode;
+
+use isis_bench::harness::{flat_service, FLAT_GID};
+use now_sim::SimDuration;
+use now_trace::{Tracer, ViolationMode};
+
+fn main() -> ExitCode {
+    let mut svc = flat_service(6, 2026);
+    svc.sim.set_tracer(
+        Tracer::new()
+            .with_monitors(ViolationMode::Record)
+            .retain_all(),
+    );
+
+    svc.one_request("PUT k v");
+    svc.one_request("GET k");
+
+    // A member crash mid-service: view change + coordinator continuity.
+    let victim = svc.members[2];
+    svc.sim.crash(victim);
+    for &m in &svc.members.clone() {
+        if m != victim {
+            svc.sim.invoke(m, move |p, ctx| {
+                let _ = p.report_suspect(FLAT_GID, victim, ctx);
+            });
+        }
+    }
+    svc.sim.run_for(SimDuration::from_secs(10));
+    svc.one_request("PUT k v2");
+
+    let tracer = svc.sim.take_tracer().expect("tracer was attached");
+    let violations = tracer.violations().to_vec();
+    let events = tracer.events();
+    let tsv = tracer.to_tsv();
+
+    if let Err(e) = std::fs::create_dir_all("BENCH_artifacts") {
+        eprintln!("cannot create BENCH_artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write("BENCH_artifacts/trace_demo.trace", &tsv) {
+        eprintln!("cannot write trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote BENCH_artifacts/trace_demo.trace ({} events, {} monitored, {} violations)",
+        events.len(),
+        tracer.monitored_events(),
+        violations.len()
+    );
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

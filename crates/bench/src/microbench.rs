@@ -124,6 +124,30 @@ impl Bencher {
     }
 }
 
+/// One benchmark's timing summary, as kept in the record registry for
+/// machine-readable export (`BENCH_results.json`).
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full `group/name` benchmark id.
+    pub name: String,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u128,
+    /// Median sample, nanoseconds.
+    pub median_ns: u128,
+    /// Mean of all samples, nanoseconds.
+    pub mean_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RECORDS: std::sync::Mutex<Vec<BenchRecord>> = std::sync::Mutex::new(Vec::new());
+
+/// Drains every timing summary recorded by `bench_function` runs since the
+/// last call.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *RECORDS.lock().expect("record registry poisoned"))
+}
+
 fn report(name: &str, samples: &[Duration]) {
     if samples.is_empty() {
         println!("{name:<40} (no samples)");
@@ -135,6 +159,13 @@ fn report(name: &str, samples: &[Duration]) {
     let median = sorted[sorted.len() / 2];
     let total: Duration = sorted.iter().sum();
     let mean = total / sorted.len() as u32;
+    RECORDS.lock().expect("record registry poisoned").push(BenchRecord {
+        name: name.to_owned(),
+        min_ns: min.as_nanos(),
+        median_ns: median.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        samples: sorted.len(),
+    });
     println!(
         "{name:<40} min {:>10} | median {:>10} | mean {:>10} | n={}",
         fmt(min),
@@ -218,6 +249,17 @@ mod tests {
         });
         assert_eq!(setups, 5);
         assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn records_are_registered_for_export() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("reg");
+        g.sample_size(3);
+        g.bench_function("probe", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+        let recs = take_records();
+        assert!(recs.iter().any(|r| r.name == "reg/probe" && r.samples == 3));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Acceptance probe for the online monitors: a live cluster runs clean
+//! under an armed tracer, and a deliberately seeded fault — a forged
+//! `ViewInstall` disagreeing with the agreed membership — is caught by the
+//! matching monitor (VS-VIEW) with a causal excerpt naming the offending
+//! pids.
+
+use isis_core::testutil::cluster;
+use isis_core::IsisConfig;
+use now_sim::SimDuration;
+use now_trace::{EventKind, Tracer, ViolationMode};
+
+#[test]
+fn seeded_view_fault_is_caught_with_a_causal_excerpt() {
+    let mut c = cluster(5, IsisConfig::default(), 97);
+    c.sim.set_tracer(
+        Tracer::new()
+            .with_monitors(ViolationMode::Record)
+            .retain_all(),
+    );
+
+    // Drive a real view change under the armed tracer.
+    let victim = c.pids[4];
+    c.sim.crash(victim);
+    c.await_membership(4, SimDuration::from_secs(60));
+    c.sim.run_for(SimDuration::from_secs(2));
+
+    let tracer = c.sim.tracer_mut().expect("tracer attached");
+    assert!(
+        tracer.violations().is_empty(),
+        "the healthy run must be violation-free: {:?}",
+        tracer.violations()
+    );
+
+    // The most recent traced install is the post-crash view.
+    let install = tracer
+        .events()
+        .into_iter()
+        .rev()
+        .find(|e| matches!(e.kind, EventKind::ViewInstall { .. }))
+        .expect("the view change was traced");
+    let EventKind::ViewInstall { gid, view, members, .. } = install.kind.clone() else {
+        unreachable!("matched ViewInstall above");
+    };
+
+    // Seed the fault: a process claims the same (gid, view) with a
+    // divergent membership.
+    let mut forged = members.clone();
+    forged.push(4242);
+    tracer.inject(
+        install.at + 1,
+        4242,
+        Some(install.seq),
+        EventKind::ViewInstall { gid, view, members: forged, joined: false },
+    );
+
+    let v = tracer
+        .violations()
+        .iter()
+        .find(|v| v.monitor == "VS-VIEW")
+        .expect("the forged install is caught by the matching monitor");
+    assert_eq!(v.pids[0], 4242, "the offender is named first");
+    assert_eq!(v.pids.len(), 2, "…together with the first agreeing installer");
+    assert!(
+        v.excerpt.iter().any(|e| e.seq == install.seq),
+        "the causal excerpt reaches back to the genuine install"
+    );
+    assert!(
+        v.excerpt.last().is_some_and(|e| e.pid == 4242),
+        "the excerpt ends at the offending event"
+    );
+}

@@ -1,0 +1,99 @@
+//! The tracer must be a *pure observer*: with tracing (and the online
+//! invariant monitors) armed, every protocol run must be byte-identical to
+//! the untraced run — same message counts, same counters, same quiescence
+//! instant. This is the dynamic proof of the "tracing disabled → zero
+//! protocol cost" claim, and it doubles as a monitor-armed sweep of two
+//! real experiments (panic mode: any invariant violation aborts the test).
+//!
+//! Everything lives in ONE `#[test]` because arming via `NOW_MONITORS`
+//! mutates process-global state; a single test body keeps the env-var
+//! window race-free within this binary.
+
+use isis_bench::experiments as ex;
+use isis_bench::harness::FLAT_GID;
+use isis_core::testutil::generic_cluster;
+use isis_core::{IsisConfig, IsisProcess};
+use isis_toolkit::flat::FlatService;
+use now_sim::{SimConfig, SimDuration};
+use now_trace::{Tracer, ViolationMode};
+
+/// One client request against a flat service on a jittery LAN, digested
+/// into message counts, every counter, and the reply instant (the same
+/// probe as `determinism.rs`), with an optional tracer attached.
+fn lan_digest(seed: u64, tracer: Option<Tracer>) -> (String, Option<Tracer>) {
+    let (mut sim, members) = generic_cluster(
+        6,
+        FLAT_GID,
+        IsisConfig::quiet(),
+        SimConfig::lan(seed),
+        |_| FlatService::new(FLAT_GID),
+    );
+    if let Some(t) = tracer {
+        sim.set_tracer(t);
+    }
+    let nd = sim.add_nodes(1)[0];
+    let client = sim.spawn(
+        nd,
+        IsisProcess::new(FlatService::new(FLAT_GID), IsisConfig::quiet()),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    sim.invoke(client, move |p, ctx| {
+        p.with_app(ctx, |app, up| app.send_request(&members, "PUT k v", up))
+    });
+    let deadline = sim.now() + SimDuration::from_secs(30);
+    while sim.process(client).app().replies.is_empty() && sim.now() < deadline {
+        assert!(sim.step(), "run went quiet before the reply arrived");
+    }
+    let replied_at = sim.now().as_micros();
+    assert!(
+        !sim.process(client).app().replies.is_empty(),
+        "client never got its reply"
+    );
+    sim.run_for(SimDuration::from_secs(2));
+    let st = sim.stats();
+    let mut d = format!(
+        "sent={} delivered={} dropped={} bytes={} replied_at={}",
+        st.messages_sent, st.messages_delivered, st.messages_dropped, st.bytes_sent, replied_at,
+    );
+    for (name, v) in st.counters() {
+        d.push_str(&format!(" {name}={v}"));
+    }
+    (d, sim.take_tracer())
+}
+
+#[test]
+fn tracing_on_and_off_runs_are_byte_identical_and_monitors_stay_quiet() {
+    // --- LAN request probe: off vs monitors-armed (record mode so we can
+    // inspect the violation list afterwards). ---
+    let (off, none) = lan_digest(4242, None);
+    assert!(none.is_none(), "no tracer was attached");
+    let armed = Tracer::new().with_monitors(ViolationMode::Record);
+    let (on, tracer) = lan_digest(4242, Some(armed));
+    assert_eq!(off, on, "tracing must not perturb the run");
+
+    let tracer = tracer.expect("tracer attached, so take_tracer returns it");
+    assert!(
+        tracer.monitored_events() > 0,
+        "the monitors actually saw protocol events"
+    );
+    assert!(
+        tracer.violations().is_empty(),
+        "clean run reported violations: {:?}",
+        tracer.violations()
+    );
+    // The trace itself carries real protocol structure: at least one
+    // delivery linked back to its send.
+    let events = tracer.events();
+    assert!(events.iter().any(|e| e.cause.is_some()));
+
+    // --- E2 + E8 quick experiments: baseline vs NOW_MONITORS=1 (panic
+    // mode — a violation anywhere in either experiment aborts here). ---
+    let base_e2 = ex::e2(true).render();
+    let base_e8 = ex::e8(true).render();
+    std::env::set_var("NOW_MONITORS", "1");
+    let armed_e2 = ex::e2(true).render();
+    let armed_e8 = ex::e8(true).render();
+    std::env::remove_var("NOW_MONITORS");
+    assert_eq!(base_e2, armed_e2, "E2 must be byte-identical under monitors");
+    assert_eq!(base_e8, armed_e8, "E8 must be byte-identical under monitors");
+}

@@ -216,4 +216,16 @@ impl<'a, 'b, A: Application> Uplink<'a, 'b, A> {
     pub fn rng(&mut self) -> &mut now_sim::DetRng {
         self.ctx.rng()
     }
+
+    /// Whether a tracer is attached (lets callers skip building event
+    /// payloads when tracing is off).
+    pub fn tracing(&self) -> bool {
+        self.ctx.tracing()
+    }
+
+    /// Records a trace event, lazily built only when tracing is on.
+    /// Returns the event's sequence number (0 when tracing is off).
+    pub fn trace_with(&mut self, f: impl FnOnce() -> now_sim::trace::EventKind) -> u64 {
+        self.ctx.trace_with(f)
+    }
 }

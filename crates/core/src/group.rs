@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use now_sim::trace::{EventKind as TraceKind, MsgKey};
 use now_sim::{Ctx, Pid, SimTime};
 
 use crate::app::{Application, MsgOf};
@@ -71,6 +72,21 @@ impl<'a, 'b, A: Application> Env<'a, 'b, A> {
     pub fn now(&self) -> SimTime {
         self.ctx.now()
     }
+}
+
+/// Flattens a protocol [`MsgId`] into the tracer's plain-integer key.
+pub(crate) fn trace_key(id: &MsgId) -> MsgKey {
+    MsgKey {
+        sender: id.sender.0,
+        view: id.view,
+        stream: id.stream,
+        seq: id.seq,
+    }
+}
+
+/// Flattens a [`VClock`] into the tracer's `(pid, count)` pairs.
+pub(crate) fn trace_vt(vt: &VClock) -> Vec<(u32, u64)> {
+    vt.iter().map(|(p, v)| (p.0, v)).collect()
 }
 
 /// Maps a message category to its static counter name.
@@ -190,6 +206,12 @@ pub(crate) struct GroupRuntime<A: Application> {
 
     // --- reordering across views ---
     pub(crate) future_inbox: Vec<(Pid, MsgOf<A>)>,
+
+    /// True while [`GroupRuntime::apply_relay`] is delivering flush catch-up
+    /// messages; marks those trace deliveries as relays (exempt from the
+    /// per-view ordering monitors, which is correct: relays *are* the
+    /// virtual-synchrony cut).
+    in_relay: bool,
 }
 
 impl<A: Application> GroupRuntime<A> {
@@ -235,6 +257,7 @@ impl<A: Application> GroupRuntime<A> {
             leaving: false,
             ack_counts: BTreeMap::new(),
             future_inbox: Vec::new(),
+            in_relay: false,
         };
         rt.reset_liveness(now);
         rt
@@ -319,12 +342,18 @@ impl<A: Application> GroupRuntime<A> {
         if want_ack {
             self.ack_counts.insert(id, 0);
         }
+        let tgid = self.gid.0;
         match kind {
             CastKind::Causal => {
                 // Stamp with the post-send vector: own entry counts this
                 // message itself (standard CBCAST self-delivery).
                 self.cvt.set(self.me, id.seq);
                 let vt = self.cvt.clone();
+                env.ctx.trace_with(|| TraceKind::CastSend {
+                    gid: tgid,
+                    msg: trace_key(&id),
+                    vt: trace_vt(&vt),
+                });
                 self.deliver_causal_local(id, vt.clone(), payload.clone(), env);
                 let data = self.make_cast(CastKind::Causal, id, vt, want_ack, payload);
                 for p in self.peers() {
@@ -333,6 +362,11 @@ impl<A: Application> GroupRuntime<A> {
             }
             CastKind::Fifo => {
                 self.fdel.set(self.me, id.seq);
+                env.ctx.trace_with(|| TraceKind::CastSend {
+                    gid: tgid,
+                    msg: trace_key(&id),
+                    vt: Vec::new(),
+                });
                 self.deliver_fifo_local(id, payload.clone(), env);
                 let data = self.make_cast(CastKind::Fifo, id, VClock::new(), want_ack, payload);
                 for p in self.peers() {
@@ -340,6 +374,11 @@ impl<A: Application> GroupRuntime<A> {
                 }
             }
             CastKind::Total => {
+                env.ctx.trace_with(|| TraceKind::CastSend {
+                    gid: tgid,
+                    msg: trace_key(&id),
+                    vt: Vec::new(),
+                });
                 let data = self.make_cast(
                     CastKind::Total,
                     id,
@@ -550,6 +589,15 @@ impl<A: Application> GroupRuntime<A> {
         payload: A::Payload,
         env: &mut Env<'_, '_, A>,
     ) {
+        let (gid, view, relay) = (self.gid.0, self.view.view_id, self.in_relay);
+        env.ctx.trace_with(|| TraceKind::CastDeliver {
+            gid,
+            view,
+            msg: trace_key(&id),
+            gseq: 0,
+            relay,
+            vt: trace_vt(&vt),
+        });
         self.delivered_ids.insert(id);
         self.retained_causal.insert(id, (vt, payload.clone()));
         env.effects.push(Effect::Deliver {
@@ -561,6 +609,15 @@ impl<A: Application> GroupRuntime<A> {
     }
 
     fn deliver_fifo_local(&mut self, id: MsgId, payload: A::Payload, env: &mut Env<'_, '_, A>) {
+        let (gid, view, relay) = (self.gid.0, self.view.view_id, self.in_relay);
+        env.ctx.trace_with(|| TraceKind::CastDeliver {
+            gid,
+            view,
+            msg: trace_key(&id),
+            gseq: 0,
+            relay,
+            vt: Vec::new(),
+        });
         self.delivered_ids.insert(id);
         self.retained_fifo.insert(id, payload.clone());
         env.effects.push(Effect::Deliver {
@@ -578,6 +635,15 @@ impl<A: Application> GroupRuntime<A> {
         payload: A::Payload,
         env: &mut Env<'_, '_, A>,
     ) {
+        let (gid, view, relay) = (self.gid.0, self.view.view_id, self.in_relay);
+        env.ctx.trace_with(|| TraceKind::CastDeliver {
+            gid,
+            view,
+            msg: trace_key(&id),
+            gseq,
+            relay,
+            vt: Vec::new(),
+        });
         self.delivered_ids.insert(id);
         self.retained_total.insert(gseq, (id, payload.clone()));
         env.effects.push(Effect::Deliver {
@@ -770,6 +836,7 @@ impl<A: Application> GroupRuntime<A> {
         relay: &crate::msg::RelaySet<A::Payload>,
         env: &mut Env<'_, '_, A>,
     ) {
+        self.in_relay = true;
         // Causal: sort by (vt sum, sender, seq) — a linear extension of the
         // causal order (vt sums strictly increase along causal chains).
         let mut causal: Vec<&(MsgId, VClock, A::Payload)> = relay.causal.iter().collect();
@@ -788,6 +855,15 @@ impl<A: Application> GroupRuntime<A> {
                 // Cross-view relay (leader crashed mid-install): deliver to
                 // the application without touching current-view counters.
                 env.ctx.bump("isis.relay.crossview");
+                let (gid, view) = (self.gid.0, self.view.view_id);
+                env.ctx.trace_with(|| TraceKind::CastDeliver {
+                    gid,
+                    view,
+                    msg: trace_key(id),
+                    gseq: 0,
+                    relay: true,
+                    vt: trace_vt(vt),
+                });
                 self.delivered_ids.insert(*id);
                 env.effects.push(Effect::Deliver {
                     gid: self.gid,
@@ -811,6 +887,15 @@ impl<A: Application> GroupRuntime<A> {
                 self.deliver_fifo_local(*id, p.clone(), env);
             } else {
                 env.ctx.bump("isis.relay.crossview");
+                let (gid, view) = (self.gid.0, self.view.view_id);
+                env.ctx.trace_with(|| TraceKind::CastDeliver {
+                    gid,
+                    view,
+                    msg: trace_key(id),
+                    gseq: 0,
+                    relay: true,
+                    vt: Vec::new(),
+                });
                 self.delivered_ids.insert(*id);
                 env.effects.push(Effect::Deliver {
                     gid: self.gid,
@@ -836,6 +921,15 @@ impl<A: Application> GroupRuntime<A> {
                 self.deliver_total_local(*gseq, *id, p.clone(), env);
             } else {
                 env.ctx.bump("isis.relay.crossview");
+                let (gid, view) = (self.gid.0, self.view.view_id);
+                env.ctx.trace_with(|| TraceKind::CastDeliver {
+                    gid,
+                    view,
+                    msg: trace_key(id),
+                    gseq: *gseq,
+                    relay: true,
+                    vt: Vec::new(),
+                });
                 self.delivered_ids.insert(*id);
                 env.effects.push(Effect::Deliver {
                     gid: self.gid,
@@ -849,6 +943,7 @@ impl<A: Application> GroupRuntime<A> {
             relay.total_unordered.is_empty(),
             "install relays carry only ordered totals"
         );
+        self.in_relay = false;
     }
 
     /// Resets per-view protocol state after installing `view`.

@@ -12,6 +12,7 @@
 //! restarts with a higher attempt number, and members always ack the
 //! highest attempt they have seen for the highest target view.
 
+use now_sim::trace::EventKind as TraceKind;
 use now_sim::Pid;
 
 use crate::app::Application;
@@ -303,6 +304,9 @@ impl<A: Application> GroupRuntime<A> {
         vc.acks.insert(self.me, self.collect_unstable());
         self.vc = Some(vc);
         env.ctx.bump("isis.flushes_started");
+        let (tgid, tview) = (self.gid.0, proposal.view_id);
+        env.ctx
+            .trace_with(|| TraceKind::FlushBegin { gid: tgid, attempt, proposal: tview });
         for p in participants.iter().filter(|&&p| p != self.me) {
             env.send(
                 *p,

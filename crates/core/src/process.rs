@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use now_sim::trace::EventKind as TraceKind;
 use now_sim::{Ctx, Pid, Process, SimTime, TimerId};
 
 use crate::app::{Application, MsgOf, Uplink, UpOp};
@@ -28,10 +29,17 @@ struct JoinState {
 /// Drive protocol entry points from a harness with
 /// [`now_sim::Sim::invoke`]:
 ///
-/// ```ignore
-/// sim.invoke(pid, |p: &mut IsisProcess<MyApp>, ctx| {
-///     p.create_group(GroupId(1), ctx).unwrap();
-/// });
+/// ```
+/// use isis_core::testutil::RecorderApp;
+/// use isis_core::{GroupId, IsisProcess};
+/// use now_sim::{Sim, SimConfig, SimDuration};
+///
+/// let mut sim: Sim<IsisProcess<RecorderApp>> = Sim::new(SimConfig::ideal(7));
+/// let node = sim.add_nodes(1)[0];
+/// let pid = sim.spawn(node, IsisProcess::with_defaults(RecorderApp::default()));
+/// sim.invoke(pid, |p, ctx| p.create_group(GroupId(1), ctx).expect("fresh gid"));
+/// sim.run_for(SimDuration::from_secs(1));
+/// assert!(sim.process(pid).view_of(GroupId(1)).is_some());
 /// ```
 pub struct IsisProcess<A: Application> {
     app: A,
@@ -224,8 +232,18 @@ impl<A: Application> IsisProcess<A> {
     /// executes the operations it issued. This is the harness entry point
     /// for application-level actions:
     ///
-    /// ```ignore
-    /// sim.invoke(pid, |p, ctx| p.with_app(ctx, |app, up| app.kick(up)));
+    /// ```
+    /// use isis_core::testutil::cluster;
+    /// use isis_core::{CastKind, IsisConfig};
+    /// use now_sim::SimDuration;
+    ///
+    /// let mut c = cluster(3, IsisConfig::default(), 11);
+    /// let gid = c.gid;
+    /// c.sim.invoke(c.pids[0], move |p, ctx| {
+    ///     p.with_app(ctx, move |_app, up| up.cast(gid, CastKind::Causal, "hi".into()));
+    /// });
+    /// c.sim.run_for(SimDuration::from_secs(5));
+    /// assert_eq!(c.sim.process(c.pids[2]).app().payloads(gid), vec!["hi".to_string()]);
     /// ```
     pub fn with_app<R>(
         &mut self,
@@ -334,6 +352,12 @@ impl<A: Application> IsisProcess<A> {
             }
             Effect::View { view, joined } => {
                 self.views_cache.insert(view.gid, view.clone());
+                ctx.trace_with(|| TraceKind::ViewInstall {
+                    gid: view.gid.0,
+                    view: view.view_id,
+                    members: view.members.iter().map(|p| p.0).collect(),
+                    joined,
+                });
                 let Self { app, .. } = self;
                 let mut up = Uplink {
                     ctx,
@@ -344,6 +368,7 @@ impl<A: Application> IsisProcess<A> {
             }
             Effect::Left { gid } => {
                 self.views_cache.remove(&gid);
+                ctx.trace_with(|| TraceKind::GroupLeft { gid: gid.0 });
                 let mut up = Uplink {
                     ctx,
                     ops,
@@ -352,6 +377,7 @@ impl<A: Application> IsisProcess<A> {
                 self.app.on_left(gid, &mut up);
             }
             Effect::Stall { gid } => {
+                ctx.trace_with(|| TraceKind::GroupStall { gid: gid.0 });
                 let mut up = Uplink {
                     ctx,
                     ops,

@@ -112,7 +112,8 @@ fn role_of(rel: &str) -> FileRole {
 
 /// Crates whose *source* must use ordered containers (R1) and avoid
 /// panicking protocol paths (R3 applies to the protocol subset).
-const R1_SCOPE: [&str; 4] = [
+const R1_SCOPE: [&str; 5] = [
+    "crates/trace/src/",
     "crates/sim/src/",
     "crates/core/src/",
     "crates/hier/src/",
@@ -120,10 +121,16 @@ const R1_SCOPE: [&str; 4] = [
 ];
 
 /// Crates where ambient nondeterminism is banned everywhere, tests included.
-const R2_SCOPE: [&str; 4] = ["crates/sim/", "crates/core/", "crates/hier/", "crates/toolkit/"];
+const R2_SCOPE: [&str; 5] = [
+    "crates/trace/",
+    "crates/sim/",
+    "crates/core/",
+    "crates/hier/",
+    "crates/toolkit/",
+];
 
 /// Protocol crates under the unwrap policy (R3) and dead-code rule (R4).
-const R3_SCOPE: [&str; 2] = ["crates/core/src/", "crates/hier/src/"];
+const R3_SCOPE: [&str; 3] = ["crates/trace/src/", "crates/core/src/", "crates/hier/src/"];
 
 fn in_scope(rel: &str, scope: &[&str]) -> bool {
     scope.iter().any(|p| rel.starts_with(p))

@@ -124,6 +124,17 @@ impl<'x, 'a, 'b, B: LargeApp> LargeUplink<'x, 'a, 'b, B> {
     pub fn rng(&mut self) -> &mut now_sim::DetRng {
         self.up.rng()
     }
+
+    /// Whether a tracer is attached.
+    pub fn tracing(&self) -> bool {
+        self.up.tracing()
+    }
+
+    /// Records a trace event, lazily built only when tracing is on.
+    /// Returns the event's sequence number (0 when tracing is off).
+    pub fn trace_with(&mut self, f: impl FnOnce() -> now_sim::trace::EventKind) -> u64 {
+        self.up.trace_with(f)
+    }
 }
 
 /// Domain logic running above the hierarchical group layer.

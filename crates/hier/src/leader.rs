@@ -18,6 +18,7 @@
 
 use std::collections::BTreeMap;
 
+use now_sim::trace::EventKind as TraceKind;
 use now_sim::Pid;
 
 use isis_core::{CastKind, GroupId, GroupView, Uplink};
@@ -464,6 +465,8 @@ impl<B: LargeApp> HierApp<B> {
             // Takeover: re-push the structure and re-drive pending ops.
             self.root_beacons.insert(lgid, up.now());
             up.bump("hier.leader_takeover");
+            let tl = u64::from(lgid.0);
+            up.trace_with(|| TraceKind::LeaderTakeover { lgid: tl });
             self.push_structure(lgid, up);
             let pending: Vec<(GroupId, PendingOp)> = self.leaders[&lgid]
                 .pending

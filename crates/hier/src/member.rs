@@ -13,6 +13,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use now_sim::trace::EventKind as TraceKind;
 use now_sim::{Pid, SimTime};
 
 use isis_core::{Application, CastKind, GroupId, GroupView, Uplink};
@@ -295,6 +296,8 @@ impl<B: LargeApp> HierApp<B> {
             origin: up.me(),
             seq: ms.next_seq,
         };
+        let (tl, origin, lseq) = (u64::from(lgid.0), id.origin.0, id.seq);
+        up.trace_with(|| TraceKind::LbcastSubmit { lgid: tl, origin, lseq });
         ms.out.insert(
             id,
             OutLbcast {
@@ -384,10 +387,22 @@ impl<B: LargeApp> HierApp<B> {
     /// Public harness entry point: runs a business-level callback with a
     /// [`LargeUplink`] and then executes the operations it buffered.
     ///
-    /// ```ignore
-    /// sim.invoke(pid, |p, ctx| p.with_app(ctx, |app, up| {
-    ///     app.with_business(up, |biz, lup| biz.do_something(lup));
-    /// }));
+    /// ```
+    /// use isis_hier::harness::large_cluster;
+    /// use isis_hier::LargeGroupConfig;
+    /// use now_sim::SimDuration;
+    ///
+    /// let mut c = large_cluster(6, LargeGroupConfig::new(2, 3), 5);
+    /// let (lgid, origin) = (c.lgid, c.members[0]);
+    /// c.sim.invoke(origin, move |p, ctx| {
+    ///     p.with_app(ctx, move |app, up| {
+    ///         app.with_business(up, |_biz, lup| lup.lbcast(lgid, "tick".into()));
+    ///     });
+    /// });
+    /// c.run_for(SimDuration::from_secs(20));
+    /// for (_, log) in c.lbcast_logs() {
+    ///     assert_eq!(log, vec!["tick".to_string()]);
+    /// }
     /// ```
     pub fn with_business(
         &mut self,
@@ -479,6 +494,8 @@ impl<B: LargeApp> HierApp<B> {
             return;
         }
         up.bump("hier.lbcast.delivered");
+        let (tl, torigin, tseq) = (u64::from(lgid.0), id.origin.0, id.seq);
+        up.trace_with(|| TraceKind::LbcastDeliver { lgid: tl, origin: torigin, lseq: tseq });
         let origin = id.origin;
         let p = payload.clone();
         self.with_biz(up, leaf_view, |biz, lup| {
@@ -630,6 +647,10 @@ impl<B: LargeApp> HierApp<B> {
         // Rep transition.
         let am_rep = view.coordinator() == me;
         let was_rep = self.reps.contains_key(&lgid);
+        if am_rep != was_rep {
+            let (tl, leaf) = (u64::from(lgid.0), view.gid.0);
+            up.trace_with(|| TraceKind::RepChange { lgid: tl, leaf, promoted: am_rep });
+        }
         if am_rep && !was_rep {
             let mut rs = RepState::new(view.gid);
             // Continue the sequence from what this member has delivered,
@@ -661,6 +682,19 @@ impl<B: LargeApp> HierApp<B> {
                     }),
                 );
             }
+        }
+
+        // E7 invariant probe: member-role view storage (leaf cache + rep
+        // routing slice; leader replicas are deliberately O(leaves) and
+        // excluded) must stay bounded by the structural parameters.
+        if up.tracing() {
+            let bytes = (16
+                + 4 * view.members.len()
+                + self.reps.get(&lgid).map_or(0, RepState::storage_bytes))
+                as u64;
+            let bound = (200 + 16 * self.timers.max_leaf + 48 * self.timers.fanout) as u64;
+            let tl = u64::from(lgid.0);
+            up.trace_with(|| TraceKind::StorageSample { lgid: tl, bytes, bound });
         }
 
         let v = view.clone();

@@ -10,6 +10,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, BTreeSet};
 
+use now_trace::{EventKind as TraceKind, Tracer};
+
 use crate::det_rand::DetRng;
 
 use crate::ids::{NodeId, Pid, SiteId, TimerId};
@@ -55,6 +57,10 @@ pub struct Ctx<'a, M> {
     obs: &'a mut ObservationLog,
     next_timer: &'a mut u64,
     actions: Vec<Action<M>>,
+    tracer: Option<&'a mut Tracer>,
+    /// Trace seq of the event (delivery, timer) that triggered this
+    /// callback; threaded as the `cause` of everything it records.
+    cause: Option<u64>,
 }
 
 enum Action<M> {
@@ -146,11 +152,30 @@ impl<'a, M> Ctx<'a, M> {
     pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
         self.stats.sample_duration(name, d);
     }
+
+    /// Whether a tracer is attached. Protocol layers may use this to skip
+    /// building expensive event payloads when tracing is off.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Records a trace event, lazily built by `f` only when tracing is on.
+    /// The event is stamped with the current time, this pid, and the causal
+    /// link to the delivery/timer that triggered this callback. Returns the
+    /// event's seq (0 when tracing is off).
+    pub fn trace_with(&mut self, f: impl FnOnce() -> now_trace::EventKind) -> u64 {
+        match self.tracer.as_deref_mut() {
+            Some(tr) => tr.record(self.now.as_micros(), self.me.0, self.cause, f()),
+            None => 0,
+        }
+    }
 }
 
 enum Event<M> {
     Start(Pid),
-    Deliver { to: Pid, from: Pid, msg: M },
+    /// `wire` is the trace seq of the matching `NetSend` event (0 when the
+    /// tracer was off at send time); it links the delivery back to its send.
+    Deliver { to: Pid, from: Pid, msg: M, wire: u64 },
     Timer { pid: Pid, id: TimerId, kind: u32 },
     Crash(Pid),
     SetPartition(Partition),
@@ -231,6 +256,11 @@ pub struct Sim<P: Process> {
     /// Per ordered (src, dst) pair: latest scheduled arrival, used to keep
     /// channels FIFO when `NetConfig::fifo` is set.
     channel_clock: std::collections::BTreeMap<(Pid, Pid), SimTime>,
+    /// Optional causal tracer. `None` (the default unless `NOW_MONITORS` /
+    /// `NOW_TRACE` is set) means tracing is off and the run is byte-identical
+    /// to one without the tracing layer: recording never touches the RNG,
+    /// the stats, or event ordering.
+    tracer: Option<Tracer>,
 }
 
 impl<P: Process> Sim<P> {
@@ -251,6 +281,36 @@ impl<P: Process> Sim<P> {
             cancelled: BTreeSet::new(),
             next_timer: 0,
             channel_clock: std::collections::BTreeMap::new(),
+            tracer: Tracer::from_env(),
+        }
+    }
+
+    /// Attaches a tracer (e.g. `Tracer::new().with_monitors(..)`), replacing
+    /// and returning any existing one.
+    pub fn set_tracer(&mut self, t: Tracer) -> Option<Tracer> {
+        self.tracer.replace(t)
+    }
+
+    /// The attached tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Mutable access to the attached tracer (for fault injection in tests).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
+    }
+
+    /// Detaches and returns the tracer, disabling tracing from here on.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// Records an engine-level trace event; no-op (returning 0) when off.
+    fn trace(&mut self, pid: Pid, cause: Option<u64>, kind: TraceKind) -> u64 {
+        match self.tracer.as_mut() {
+            Some(tr) => tr.record(self.now.as_micros(), pid.0, cause, kind),
+            None => 0,
         }
     }
 
@@ -283,6 +343,9 @@ impl<P: Process> Sim<P> {
             alive: true,
         }));
         self.stats.ensure_proc(pid);
+        if self.tracer.is_some() {
+            self.trace(pid, None, TraceKind::Spawn { node: node.0 });
+        }
         self.push(self.now, Event::Start(pid));
         pid
     }
@@ -379,16 +442,30 @@ impl<P: Process> Sim<P> {
     /// Crashes `pid` immediately: it stops executing and every in-flight
     /// message or timer addressed to it is silently discarded.
     pub fn crash(&mut self, pid: Pid) {
+        let mut was_alive = false;
         if let Some(s) = self.procs[pid.0 as usize].as_mut() {
+            was_alive = s.alive;
             s.alive = false;
+        }
+        if was_alive && self.tracer.is_some() {
+            self.trace(pid, None, TraceKind::Crash);
         }
     }
 
     /// Crashes every process hosted on `node` (a workstation power failure).
     pub fn crash_node(&mut self, node: NodeId) {
-        for s in self.procs.iter_mut().flatten() {
-            if s.node == node {
-                s.alive = false;
+        let mut died = Vec::new();
+        for (i, s) in self.procs.iter_mut().enumerate() {
+            if let Some(s) = s {
+                if s.node == node && s.alive {
+                    s.alive = false;
+                    died.push(Pid(i as u32));
+                }
+            }
+        }
+        if self.tracer.is_some() {
+            for pid in died {
+                self.trace(pid, None, TraceKind::Crash);
             }
         }
     }
@@ -425,6 +502,17 @@ impl<P: Process> Sim<P> {
         pid: Pid,
         f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
     ) -> Option<R> {
+        self.invoke_caused(pid, None, f)
+    }
+
+    /// [`Sim::invoke`] with an explicit causal link: `cause` is the trace
+    /// seq of the delivery/timer event that triggered this callback.
+    fn invoke_caused<R>(
+        &mut self,
+        pid: Pid,
+        cause: Option<u64>,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
+    ) -> Option<R> {
         if !self.is_alive(pid) {
             return None;
         }
@@ -437,18 +525,20 @@ impl<P: Process> Sim<P> {
             obs: &mut self.obs,
             next_timer: &mut self.next_timer,
             actions: Vec::new(),
+            tracer: self.tracer.as_mut(),
+            cause,
         };
         let r = f(&mut slot.proc, &mut ctx);
         let actions = ctx.actions;
         self.procs[pid.0 as usize] = Some(slot);
-        self.apply_actions(pid, actions);
+        self.apply_actions(pid, actions, cause);
         Some(r)
     }
 
-    fn apply_actions(&mut self, from: Pid, actions: Vec<Action<P::Msg>>) {
+    fn apply_actions(&mut self, from: Pid, actions: Vec<Action<P::Msg>>, cause: Option<u64>) {
         for a in actions {
             match a {
-                Action::Send { to, msg } => self.route(from, to, msg),
+                Action::Send { to, msg } => self.route(from, to, msg, cause),
                 Action::SetTimer { id, kind, at } => {
                     self.push(at, Event::Timer { pid: from, id, kind });
                 }
@@ -459,17 +549,28 @@ impl<P: Process> Sim<P> {
                     if let Some(s) = self.procs[from.0 as usize].as_mut() {
                         s.alive = false;
                     }
+                    if self.tracer.is_some() {
+                        self.trace(from, cause, TraceKind::Halt);
+                    }
                 }
             }
         }
     }
 
-    fn route(&mut self, from: Pid, to: Pid, msg: P::Msg) {
+    fn route(&mut self, from: Pid, to: Pid, msg: P::Msg, cause: Option<u64>) {
         let bytes = P::wire_size(&msg);
         self.stats.record_send(from, to, bytes);
+        // The NetSend's seq *is* the wire id carried by the delivery/drop.
+        let wire = match self.tracer.is_some() {
+            true => self.trace(from, cause, TraceKind::NetSend { to: to.0, bytes: bytes as u64 }),
+            false => 0,
+        };
         if (to.0 as usize) >= self.procs.len() {
             // Message to a pid that does not exist (e.g. stale address).
             self.stats.record_drop(to);
+            if wire > 0 {
+                self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
+            }
             return;
         }
         let (src_node, dst_node) = (self.slot(from).node, self.slot(to).node);
@@ -484,6 +585,9 @@ impl<P: Process> Sim<P> {
             };
             if model.sample_drop(&mut self.rng) {
                 self.stats.record_drop(to);
+                if wire > 0 {
+                    self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
+                }
                 return;
             }
             model.sample_latency(bytes, &mut self.rng)
@@ -499,7 +603,7 @@ impl<P: Process> Sim<P> {
             }
             *clock = arrival;
         }
-        self.push(arrival, Event::Deliver { to, from, msg });
+        self.push(arrival, Event::Deliver { to, from, msg, wire });
     }
 
     /// Executes the next pending event. Returns `false` when the queue is
@@ -517,9 +621,13 @@ impl<P: Process> Sim<P> {
                         self.invoke(pid, |p, ctx| p.on_start(ctx));
                     }
                 }
-                Event::Deliver { to, from, msg } => {
+                Event::Deliver { to, from, msg, wire } => {
+                    let link = (wire > 0).then_some(wire);
                     if !self.is_alive(to) {
                         self.stats.record_drop(to);
+                        if wire > 0 {
+                            self.trace(from, link, TraceKind::NetDrop { to: to.0, send: wire });
+                        }
                         continue;
                     }
                     let src_node = if (from.0 as usize) < self.procs.len() && !from.is_external()
@@ -535,18 +643,37 @@ impl<P: Process> Sim<P> {
                         let dn = self.slot(to).node;
                         if !self.partition.connected_pair(sn, dn) {
                             self.stats.record_drop(to);
+                            if wire > 0 {
+                                self.trace(from, link, TraceKind::NetDrop { to: to.0, send: wire });
+                            }
                             continue;
                         }
                     }
                     self.stats.record_delivery(to);
-                    self.invoke(to, |p, ctx| p.on_message(from, msg, ctx));
+                    let cause = match self.tracer.is_some() {
+                        true => Some(self.trace(
+                            to,
+                            link,
+                            TraceKind::NetDeliver { from: from.0, send: wire },
+                        )),
+                        false => None,
+                    };
+                    self.invoke_caused(to, cause, |p, ctx| p.on_message(from, msg, ctx));
                 }
                 Event::Timer { pid, id, kind } => {
                     if self.cancelled.remove(&id) {
                         continue;
                     }
                     if self.is_alive(pid) {
-                        self.invoke(pid, |p, ctx| p.on_timer(id, kind, ctx));
+                        let cause = match self.tracer.is_some() {
+                            true => Some(self.trace(
+                                pid,
+                                None,
+                                TraceKind::TimerFire { kind: u64::from(kind) },
+                            )),
+                            false => None,
+                        };
+                        self.invoke_caused(pid, cause, |p, ctx| p.on_timer(id, kind, ctx));
                     }
                 }
                 Event::Crash(pid) => self.crash(pid),
@@ -596,12 +723,21 @@ impl<P: Process> Sim<P> {
     pub fn inject(&mut self, to: Pid, msg: P::Msg) {
         let bytes = P::wire_size(&msg);
         self.stats.record_send(Pid::EXTERNAL, to, bytes);
+        let wire = match self.tracer.is_some() {
+            true => self.trace(
+                Pid::EXTERNAL,
+                None,
+                TraceKind::NetSend { to: to.0, bytes: bytes as u64 },
+            ),
+            false => 0,
+        };
         self.push(
             self.now + self.cfg.net.loopback,
             Event::Deliver {
                 to,
                 from: Pid::EXTERNAL,
                 msg,
+                wire,
             },
         );
     }
@@ -853,5 +989,67 @@ mod tests {
         sim.invoke(a, |_, ctx| ctx.send(Pid(999), "void".into()));
         sim.run_to_quiescence(SimTime(1_000_000));
         assert_eq!(sim.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn tracer_links_deliveries_back_to_sends() {
+        use now_trace::EventKind;
+
+        let (mut sim, a, b) = two_procs();
+        sim.set_tracer(Tracer::new().retain_all());
+        sim.invoke(a, |_, ctx| ctx.send(b, "ping".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+
+        let tr = sim.take_tracer().expect("tracer attached");
+        let events = tr.events();
+        // ping: NET_SEND at a, NET_DELIVER at b; pong: NET_SEND at b
+        // *caused by* that delivery, NET_DELIVER back at a.
+        let send = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::NetSend { .. }) && e.pid == a.0)
+            .expect("ping send traced");
+        let deliver = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::NetDeliver { send: s, .. } if s == send.seq))
+            .expect("ping delivery traced");
+        assert_eq!(deliver.pid, b.0);
+        assert_eq!(deliver.cause, Some(send.seq));
+        let pong = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::NetSend { .. }) && e.pid == b.0)
+            .expect("pong send traced");
+        assert_eq!(
+            pong.cause,
+            Some(deliver.seq),
+            "reply send must be caused by the delivery that triggered it"
+        );
+    }
+
+    #[test]
+    fn tracing_on_and_off_produce_identical_stats() {
+        let run = |trace: bool| {
+            let mut sim: Sim<Echo> = Sim::new(SimConfig::lan(7));
+            if trace {
+                sim.set_tracer(Tracer::new().retain_all());
+            }
+            let nodes = sim.add_nodes(3);
+            let pids: Vec<Pid> = nodes
+                .iter()
+                .map(|n| sim.spawn(*n, Echo::default()))
+                .collect();
+            for i in 0..30u32 {
+                let from = pids[(i % 3) as usize];
+                let to = pids[((i + 1) % 3) as usize];
+                sim.invoke(from, |_, ctx| ctx.send(to, "ping".into()));
+            }
+            sim.run_to_quiescence(SimTime(10_000_000));
+            (
+                sim.stats().messages_sent,
+                sim.stats().messages_delivered,
+                sim.stats().bytes_sent,
+                sim.now(),
+            )
+        };
+        assert_eq!(run(false), run(true), "tracing must not perturb the run");
     }
 }

@@ -31,6 +31,11 @@
 //! assert_eq!(sim.process(p).0, 7);
 //! ```
 
+/// Re-export of the causal tracing + invariant-monitor crate, so the
+/// protocol layers (which depend only on `now-sim`) can name event kinds
+/// and drive tracers without a manifest change.
+pub use now_trace as trace;
+
 pub mod det_rand;
 pub mod detprop;
 pub mod engine;

@@ -15,6 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use now_sim::trace::EventKind as TraceKind;
 use now_sim::{Pid, SimDuration, SimTime};
 
 use isis_core::{Application, CastKind, GroupId, GroupView, Uplink};
@@ -108,6 +109,8 @@ impl FlatService {
             client: up.me(),
             seq: self.next_seq,
         };
+        let (client, rseq) = (req.client.0, req.seq);
+        up.trace_with(|| TraceKind::ReqSend { client, rseq });
         self.outstanding
             .insert(req, (body.to_owned(), members.to_vec(), up.now()));
         for &m in members {
@@ -133,6 +136,8 @@ impl FlatService {
         self.executed.push(req);
         self.pending.remove(&req);
         self.completed.insert(req);
+        let (client, rseq) = (req.client.0, req.seq);
+        up.trace_with(|| TraceKind::ReqExec { client, rseq });
         up.direct(
             req.client,
             SvcMsg::Reply {
@@ -171,6 +176,8 @@ impl Application for FlatService {
             SvcMsg::Reply { req, reply } => {
                 self.outstanding.remove(req);
                 self.replies.insert(*req, reply.clone());
+                let (client, rseq) = (req.client.0, req.seq);
+                up.trace_with(|| TraceKind::ReqReply { client, rseq });
             }
             SvcMsg::Result { .. } => {}
         }

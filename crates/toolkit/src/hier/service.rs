@@ -21,6 +21,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use now_sim::trace::EventKind as TraceKind;
 use now_sim::{Pid, SimDuration, SimTime};
 
 use isis_core::{CastKind, GroupId, GroupView};
@@ -238,6 +239,8 @@ impl LeafServiceApp {
             client: up.me(),
             seq: self.next_seq,
         };
+        let (client, rseq) = (req.client.0, req.seq);
+        up.trace_with(|| TraceKind::ReqSend { client, rseq });
         self.outstanding
             .insert(req, (body.to_owned(), leaf_members.to_vec(), up.now()));
         for &m in leaf_members {
@@ -355,6 +358,8 @@ impl LeafServiceApp {
         self.executed.push(req);
         self.pending.remove(&req);
         self.completed.insert(req);
+        let (client, rseq) = (req.client.0, req.seq);
+        up.trace_with(|| TraceKind::ReqExec { client, rseq });
         up.direct(
             req.client,
             HSvcMsg::Reply {
@@ -433,6 +438,8 @@ impl LargeApp for LeafServiceApp {
             HSvcMsg::Reply { req, reply } => {
                 self.outstanding.remove(req);
                 self.replies.insert(*req, reply.clone());
+                let (client, rseq) = (req.client.0, req.seq);
+                up.trace_with(|| TraceKind::ReqReply { client, rseq });
             }
             HSvcMsg::Result { .. } => {}
             HSvcMsg::Prepare { txn, coord, writes } => {

@@ -1,0 +1,127 @@
+//! `tracectl` — query and export a `now-trace` TSV dump.
+//!
+//! ```text
+//! tracectl <trace.tsv> [--pid N] [--group G] [--from US] [--to US]
+//!                      [--chain SEQ] [--chrome OUT.json] [--stats]
+//! ```
+//!
+//! With only filters, prints the matching events as TSV. `--chain SEQ`
+//! reconstructs and prints the causal chain ending at that event.
+//! `--chrome OUT.json` writes the (filtered) events as Chrome
+//! `trace_event` JSON for chrome://tracing / Perfetto. `--stats` prints a
+//! per-kind event census instead of the events themselves.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use now_trace::query::{chain, parse_dump, Filter};
+use now_trace::{chrome, TraceEvent};
+
+struct Args {
+    file: String,
+    filter: Filter,
+    chain: Option<u64>,
+    chrome: Option<String>,
+    stats: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tracectl <trace.tsv> [--pid N] [--group G] [--from US] [--to US] \
+         [--chain SEQ] [--chrome OUT.json] [--stats]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(argv: &[String]) -> Option<Args> {
+    let mut it = argv.iter();
+    let file = it.next()?.clone();
+    if file.starts_with("--") {
+        return None;
+    }
+    let mut a = Args {
+        file,
+        filter: Filter::default(),
+        chain: None,
+        chrome: None,
+        stats: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--stats" => a.stats = true,
+            "--pid" => a.filter.pid = Some(it.next()?.parse().ok()?),
+            "--group" => a.filter.gid = Some(it.next()?.parse().ok()?),
+            "--from" => a.filter.from = Some(it.next()?.parse().ok()?),
+            "--to" => a.filter.to = Some(it.next()?.parse().ok()?),
+            "--chain" => a.chain = Some(it.next()?.parse().ok()?),
+            "--chrome" => a.chrome = Some(it.next()?.clone()),
+            _ => return None,
+        }
+    }
+    Some(a)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(args) = parse_args(&argv) else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracectl: cannot read {}: {e}", args.file);
+            return ExitCode::from(1);
+        }
+    };
+    let (events, bad) = parse_dump(&text);
+    if !bad.is_empty() {
+        eprintln!("tracectl: {} unparseable line(s), first at line {}", bad.len(), bad[0]);
+    }
+
+    if let Some(seq) = args.chain {
+        let c = chain(&events, seq);
+        if c.is_empty() {
+            eprintln!("tracectl: no event with seq {seq} in {}", args.file);
+            return ExitCode::from(1);
+        }
+        println!("# causal chain ending at seq {seq} ({} events, oldest first)", c.len());
+        for ev in &c {
+            println!("{}", ev.to_tsv());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let picked: Vec<TraceEvent> = args
+        .filter
+        .apply(&events)
+        .into_iter()
+        .cloned()
+        .collect();
+
+    if let Some(out) = &args.chrome {
+        let json = chrome::to_chrome(&picked);
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("tracectl: cannot write {out}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {} events to {out}", picked.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if args.stats {
+        let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &picked {
+            *census.entry(ev.kind.name()).or_insert(0) += 1;
+        }
+        println!("# {} events ({} total in file)", picked.len(), events.len());
+        for (name, n) in census {
+            println!("{name}\t{n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for ev in &picked {
+        println!("{}", ev.to_tsv());
+    }
+    ExitCode::SUCCESS
+}

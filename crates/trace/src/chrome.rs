@@ -1,0 +1,96 @@
+//! Chrome `trace_event` export: renders an event log as the JSON array
+//! format that `chrome://tracing` / Perfetto load directly. Each trace
+//! event becomes an instant event on track (`pid` row = process id), and
+//! every `NetSend`/`NetDeliver` pair additionally becomes a flow arrow
+//! keyed by the wire id, so message causality is visible as arcs.
+
+use crate::event::{EventKind, TraceEvent};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_obj(out: &mut String, first: &mut bool, body: String) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n  {");
+    out.push_str(&body);
+    out.push('}');
+}
+
+/// Renders `events` as a Chrome `trace_event` JSON document.
+pub fn to_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    let mut first = true;
+    for ev in events {
+        // Args: the event's own fields, via the TSV field encoding.
+        let line = ev.to_tsv();
+        let mut args = String::new();
+        for kv in line.split('\t').skip(5) {
+            if let Some((k, v)) = kv.split_once('=') {
+                if !args.is_empty() {
+                    args.push_str(", ");
+                }
+                // Values are numbers or comma lists; emit as strings for safety.
+                args.push_str(&format!("\"{}\": \"{}\"", esc(k), esc(v)));
+            }
+        }
+        if !args.is_empty() {
+            args.push_str(", ");
+        }
+        args.push_str(&format!("\"seq\": \"{}\"", ev.seq));
+        if let Some(c) = ev.cause {
+            args.push_str(&format!(", \"cause\": \"{c}\""));
+        }
+        push_obj(
+            &mut out,
+            &mut first,
+            format!(
+                "\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \"pid\": {}, \
+                 \"tid\": 0, \"args\": {{{args}}}",
+                esc(ev.kind.name()),
+                ev.at,
+                ev.pid
+            ),
+        );
+        // Flow arrows: send -> deliver, keyed by wire id.
+        match &ev.kind {
+            EventKind::NetSend { .. } => push_obj(
+                &mut out,
+                &mut first,
+                format!(
+                    "\"name\": \"msg\", \"cat\": \"net\", \"ph\": \"s\", \"id\": {}, \
+                     \"ts\": {}, \"pid\": {}, \"tid\": 0",
+                    ev.seq, ev.at, ev.pid
+                ),
+            ),
+            EventKind::NetDeliver { send, .. } if *send > 0 => push_obj(
+                &mut out,
+                &mut first,
+                format!(
+                    "\"name\": \"msg\", \"cat\": \"net\", \"ph\": \"f\", \"bp\": \"e\", \
+                     \"id\": {send}, \"ts\": {}, \"pid\": {}, \"tid\": 0",
+                    ev.at, ev.pid
+                ),
+            ),
+            _ => {}
+        }
+    }
+    if !first {
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}

@@ -1,0 +1,386 @@
+//! The structured causal event model.
+//!
+//! Every record is keyed by `(at, seq, pid)` — simulated microseconds, a
+//! strictly increasing per-run sequence number, and the raw pid — plus an
+//! optional `cause` pointing at the seq of the event that triggered it
+//! (a network send for its delivery, a delivery for the protocol events and
+//! sends it provoked, a timer for its handler's output). Walking `cause`
+//! links therefore reconstructs the causal chain of any message.
+//!
+//! The crate is at the bottom of the dependency graph, so identifiers are
+//! plain integers (`u32` pids/nodes, `u64` group/view ids and microseconds)
+//! rather than the newtypes the upper layers use.
+
+use std::collections::BTreeMap;
+
+/// Identity of a group broadcast: the upper layers' `MsgId`, flattened.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgKey {
+    /// Sender pid.
+    pub sender: u32,
+    /// View id the message was *sent* in.
+    pub view: u64,
+    /// Ordering stream: 0 = causal, 1 = fifo, 2 = total.
+    pub stream: u8,
+    /// Per-(sender, view, stream) sequence number.
+    pub seq: u64,
+}
+
+/// What happened. Engine-level events come from `now_sim::engine`; the rest
+/// are emitted by the protocol layers through `Ctx::trace_with`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A process came to life on `node`.
+    Spawn { node: u32 },
+    /// The process was crashed by the failure injector.
+    Crash,
+    /// The process halted itself.
+    Halt,
+    /// A message left this pid for `to` (`pid` is the sender). The seq of
+    /// this event is the message's *wire id*: the matching `NetDeliver` /
+    /// `NetDrop` carries it in `send`.
+    NetSend { to: u32, bytes: u64 },
+    /// A message from `from` (wire id `send`) reached this pid.
+    NetDeliver { from: u32, send: u64 },
+    /// A message (wire id `send`) bound for `to` was dropped — loss,
+    /// partition, or dead/unknown recipient.
+    NetDrop { to: u32, send: u64 },
+    /// A timer of the given kind fired at this pid.
+    TimerFire { kind: u64 },
+
+    /// A group broadcast was submitted (`msg.view` is the sender's view).
+    CastSend { gid: u64, msg: MsgKey, vt: Vec<(u32, u64)> },
+    /// A group broadcast was delivered to the application at this pid.
+    /// `view` is the *receiver's* current view; `gseq` is the total-order
+    /// position (0 = not totally ordered); `relay` marks deliveries made
+    /// while completing a flush (virtual-synchrony catch-up), which are
+    /// exempt from the per-view ordering checks.
+    CastDeliver {
+        gid: u64,
+        view: u64,
+        msg: MsgKey,
+        gseq: u64,
+        relay: bool,
+        vt: Vec<(u32, u64)>,
+    },
+    /// A new view of `gid` became live at this pid.
+    ViewInstall {
+        gid: u64,
+        view: u64,
+        members: Vec<u32>,
+        joined: bool,
+    },
+    /// This pid started coordinating a flush toward `proposal`.
+    FlushBegin { gid: u64, attempt: u64, proposal: u64 },
+    /// This pid was excluded from `gid` and dropped its state.
+    GroupLeft { gid: u64 },
+    /// This pid lost quorum in `gid` and wedged (primary-partition stall).
+    GroupStall { gid: u64 },
+
+    /// This pid was promoted to (or demoted from) representative of `leaf`
+    /// inside large group `lgid`.
+    RepChange { lgid: u64, leaf: u64, promoted: bool },
+    /// This pid became the active leader of large group `lgid`.
+    LeaderTakeover { lgid: u64 },
+    /// A large-group broadcast was submitted by `origin`.
+    LbcastSubmit { lgid: u64, origin: u32, lseq: u64 },
+    /// A large-group broadcast reached the application at this pid.
+    LbcastDeliver { lgid: u64, origin: u32, lseq: u64 },
+    /// Per-member routing-storage sample; `bound` is the configured ceiling
+    /// (0 = unbounded role, not checked).
+    StorageSample { lgid: u64, bytes: u64, bound: u64 },
+
+    /// A toolkit client sent request (`client`, `rseq`) to a service group.
+    ReqSend { client: u32, rseq: u64 },
+    /// A service member executed request (`client`, `rseq`).
+    ReqExec { client: u32, rseq: u64 },
+    /// The client received the reply for (`client`, `rseq`).
+    ReqReply { client: u32, rseq: u64 },
+}
+
+/// One record in the causal event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Strictly increasing per-run sequence number (assigned by the tracer).
+    pub seq: u64,
+    /// Simulated time in microseconds.
+    pub at: u64,
+    /// The pid the event happened at.
+    pub pid: u32,
+    /// Seq of the event that caused this one, if known.
+    pub cause: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl EventKind {
+    /// Stable name used in the TSV format and the Chrome export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Spawn { .. } => "SPAWN",
+            EventKind::Crash => "CRASH",
+            EventKind::Halt => "HALT",
+            EventKind::NetSend { .. } => "NET_SEND",
+            EventKind::NetDeliver { .. } => "NET_DELIVER",
+            EventKind::NetDrop { .. } => "NET_DROP",
+            EventKind::TimerFire { .. } => "TIMER",
+            EventKind::CastSend { .. } => "CAST_SEND",
+            EventKind::CastDeliver { .. } => "CAST_DELIVER",
+            EventKind::ViewInstall { .. } => "VIEW_INSTALL",
+            EventKind::FlushBegin { .. } => "FLUSH_BEGIN",
+            EventKind::GroupLeft { .. } => "GROUP_LEFT",
+            EventKind::GroupStall { .. } => "GROUP_STALL",
+            EventKind::RepChange { .. } => "REP_CHANGE",
+            EventKind::LeaderTakeover { .. } => "LEADER_TAKEOVER",
+            EventKind::LbcastSubmit { .. } => "LBCAST_SUBMIT",
+            EventKind::LbcastDeliver { .. } => "LBCAST_DELIVER",
+            EventKind::StorageSample { .. } => "STORAGE_SAMPLE",
+            EventKind::ReqSend { .. } => "REQ_SEND",
+            EventKind::ReqExec { .. } => "REQ_EXEC",
+            EventKind::ReqReply { .. } => "REQ_REPLY",
+        }
+    }
+
+    /// The (large-)group id this event concerns, for `--group` filtering.
+    pub fn gid(&self) -> Option<u64> {
+        match self {
+            EventKind::CastSend { gid, .. }
+            | EventKind::CastDeliver { gid, .. }
+            | EventKind::ViewInstall { gid, .. }
+            | EventKind::FlushBegin { gid, .. }
+            | EventKind::GroupLeft { gid }
+            | EventKind::GroupStall { gid } => Some(*gid),
+            EventKind::RepChange { lgid, .. }
+            | EventKind::LeaderTakeover { lgid }
+            | EventKind::LbcastSubmit { lgid, .. }
+            | EventKind::LbcastDeliver { lgid, .. }
+            | EventKind::StorageSample { lgid, .. } => Some(*lgid),
+            _ => None,
+        }
+    }
+
+    /// Field list as `key=value` pairs, in a stable order.
+    fn fields(&self) -> Vec<(&'static str, String)> {
+        fn vt_str(vt: &[(u32, u64)]) -> String {
+            if vt.is_empty() {
+                "-".to_string()
+            } else {
+                vt.iter()
+                    .map(|(p, s)| format!("{p}:{s}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        }
+        fn list_str(xs: &[u32]) -> String {
+            if xs.is_empty() {
+                "-".to_string()
+            } else {
+                xs.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+            }
+        }
+        match self {
+            EventKind::Spawn { node } => vec![("node", node.to_string())],
+            EventKind::Crash | EventKind::Halt => vec![],
+            EventKind::NetSend { to, bytes } => {
+                vec![("to", to.to_string()), ("bytes", bytes.to_string())]
+            }
+            EventKind::NetDeliver { from, send } => {
+                vec![("from", from.to_string()), ("send", send.to_string())]
+            }
+            EventKind::NetDrop { to, send } => {
+                vec![("to", to.to_string()), ("send", send.to_string())]
+            }
+            EventKind::TimerFire { kind } => vec![("kind", kind.to_string())],
+            EventKind::CastSend { gid, msg, vt } => vec![
+                ("gid", gid.to_string()),
+                ("sender", msg.sender.to_string()),
+                ("mview", msg.view.to_string()),
+                ("stream", msg.stream.to_string()),
+                ("mseq", msg.seq.to_string()),
+                ("vt", vt_str(vt)),
+            ],
+            EventKind::CastDeliver { gid, view, msg, gseq, relay, vt } => vec![
+                ("gid", gid.to_string()),
+                ("view", view.to_string()),
+                ("sender", msg.sender.to_string()),
+                ("mview", msg.view.to_string()),
+                ("stream", msg.stream.to_string()),
+                ("mseq", msg.seq.to_string()),
+                ("gseq", gseq.to_string()),
+                ("relay", u8::from(*relay).to_string()),
+                ("vt", vt_str(vt)),
+            ],
+            EventKind::ViewInstall { gid, view, members, joined } => vec![
+                ("gid", gid.to_string()),
+                ("view", view.to_string()),
+                ("members", list_str(members)),
+                ("joined", u8::from(*joined).to_string()),
+            ],
+            EventKind::FlushBegin { gid, attempt, proposal } => vec![
+                ("gid", gid.to_string()),
+                ("attempt", attempt.to_string()),
+                ("proposal", proposal.to_string()),
+            ],
+            EventKind::GroupLeft { gid } | EventKind::GroupStall { gid } => {
+                vec![("gid", gid.to_string())]
+            }
+            EventKind::RepChange { lgid, leaf, promoted } => vec![
+                ("lgid", lgid.to_string()),
+                ("leaf", leaf.to_string()),
+                ("promoted", u8::from(*promoted).to_string()),
+            ],
+            EventKind::LeaderTakeover { lgid } => vec![("lgid", lgid.to_string())],
+            EventKind::LbcastSubmit { lgid, origin, lseq }
+            | EventKind::LbcastDeliver { lgid, origin, lseq } => vec![
+                ("lgid", lgid.to_string()),
+                ("origin", origin.to_string()),
+                ("lseq", lseq.to_string()),
+            ],
+            EventKind::StorageSample { lgid, bytes, bound } => vec![
+                ("lgid", lgid.to_string()),
+                ("bytes", bytes.to_string()),
+                ("bound", bound.to_string()),
+            ],
+            EventKind::ReqSend { client, rseq }
+            | EventKind::ReqExec { client, rseq }
+            | EventKind::ReqReply { client, rseq } => vec![
+                ("client", client.to_string()),
+                ("rseq", rseq.to_string()),
+            ],
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Serialises to one tab-separated line:
+    /// `seq  at  pid  cause  NAME  k=v  k=v …` (`-` for no cause).
+    pub fn to_tsv(&self) -> String {
+        let cause = self.cause.map_or_else(|| "-".to_string(), |c| c.to_string());
+        let mut line = format!("{}\t{}\t{}\t{}\t{}", self.seq, self.at, self.pid, cause, self.kind.name());
+        for (k, v) in self.kind.fields() {
+            line.push('\t');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&v);
+        }
+        line
+    }
+
+    /// Parses a line produced by [`TraceEvent::to_tsv`]. Returns `None` on
+    /// any malformation (the CLI reports the line number).
+    pub fn parse_tsv(line: &str) -> Option<TraceEvent> {
+        let mut it = line.split('\t');
+        let seq: u64 = it.next()?.parse().ok()?;
+        let at: u64 = it.next()?.parse().ok()?;
+        let pid: u32 = it.next()?.parse().ok()?;
+        let cause = match it.next()? {
+            "-" => None,
+            c => Some(c.parse().ok()?),
+        };
+        let name = it.next()?;
+        let mut f: BTreeMap<&str, &str> = BTreeMap::new();
+        for kv in it {
+            let (k, v) = kv.split_once('=')?;
+            f.insert(k, v);
+        }
+        let kind = parse_kind(name, &f)?;
+        Some(TraceEvent { seq, at, pid, cause, kind })
+    }
+}
+
+fn num<T: std::str::FromStr>(f: &BTreeMap<&str, &str>, k: &str) -> Option<T> {
+    f.get(k)?.parse().ok()
+}
+
+fn vt_parse(f: &BTreeMap<&str, &str>, k: &str) -> Option<Vec<(u32, u64)>> {
+    let raw = f.get(k)?;
+    if *raw == "-" {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let (p, s) = part.split_once(':')?;
+        out.push((p.parse().ok()?, s.parse().ok()?));
+    }
+    Some(out)
+}
+
+fn list_parse(f: &BTreeMap<&str, &str>, k: &str) -> Option<Vec<u32>> {
+    let raw = f.get(k)?;
+    if *raw == "-" {
+        return Some(Vec::new());
+    }
+    raw.split(',').map(|p| p.parse().ok()).collect()
+}
+
+fn msg_parse(f: &BTreeMap<&str, &str>) -> Option<MsgKey> {
+    Some(MsgKey {
+        sender: num(f, "sender")?,
+        view: num(f, "mview")?,
+        stream: num(f, "stream")?,
+        seq: num(f, "mseq")?,
+    })
+}
+
+fn parse_kind(name: &str, f: &BTreeMap<&str, &str>) -> Option<EventKind> {
+    Some(match name {
+        "SPAWN" => EventKind::Spawn { node: num(f, "node")? },
+        "CRASH" => EventKind::Crash,
+        "HALT" => EventKind::Halt,
+        "NET_SEND" => EventKind::NetSend { to: num(f, "to")?, bytes: num(f, "bytes")? },
+        "NET_DELIVER" => EventKind::NetDeliver { from: num(f, "from")?, send: num(f, "send")? },
+        "NET_DROP" => EventKind::NetDrop { to: num(f, "to")?, send: num(f, "send")? },
+        "TIMER" => EventKind::TimerFire { kind: num(f, "kind")? },
+        "CAST_SEND" => EventKind::CastSend {
+            gid: num(f, "gid")?,
+            msg: msg_parse(f)?,
+            vt: vt_parse(f, "vt")?,
+        },
+        "CAST_DELIVER" => EventKind::CastDeliver {
+            gid: num(f, "gid")?,
+            view: num(f, "view")?,
+            msg: msg_parse(f)?,
+            gseq: num(f, "gseq")?,
+            relay: num::<u8>(f, "relay")? != 0,
+            vt: vt_parse(f, "vt")?,
+        },
+        "VIEW_INSTALL" => EventKind::ViewInstall {
+            gid: num(f, "gid")?,
+            view: num(f, "view")?,
+            members: list_parse(f, "members")?,
+            joined: num::<u8>(f, "joined")? != 0,
+        },
+        "FLUSH_BEGIN" => EventKind::FlushBegin {
+            gid: num(f, "gid")?,
+            attempt: num(f, "attempt")?,
+            proposal: num(f, "proposal")?,
+        },
+        "GROUP_LEFT" => EventKind::GroupLeft { gid: num(f, "gid")? },
+        "GROUP_STALL" => EventKind::GroupStall { gid: num(f, "gid")? },
+        "REP_CHANGE" => EventKind::RepChange {
+            lgid: num(f, "lgid")?,
+            leaf: num(f, "leaf")?,
+            promoted: num::<u8>(f, "promoted")? != 0,
+        },
+        "LEADER_TAKEOVER" => EventKind::LeaderTakeover { lgid: num(f, "lgid")? },
+        "LBCAST_SUBMIT" => EventKind::LbcastSubmit {
+            lgid: num(f, "lgid")?,
+            origin: num(f, "origin")?,
+            lseq: num(f, "lseq")?,
+        },
+        "LBCAST_DELIVER" => EventKind::LbcastDeliver {
+            lgid: num(f, "lgid")?,
+            origin: num(f, "origin")?,
+            lseq: num(f, "lseq")?,
+        },
+        "STORAGE_SAMPLE" => EventKind::StorageSample {
+            lgid: num(f, "lgid")?,
+            bytes: num(f, "bytes")?,
+            bound: num(f, "bound")?,
+        },
+        "REQ_SEND" => EventKind::ReqSend { client: num(f, "client")?, rseq: num(f, "rseq")? },
+        "REQ_EXEC" => EventKind::ReqExec { client: num(f, "client")?, rseq: num(f, "rseq")? },
+        "REQ_REPLY" => EventKind::ReqReply { client: num(f, "client")?, rseq: num(f, "rseq")? },
+        _ => return None,
+    })
+}

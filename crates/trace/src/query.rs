@@ -1,0 +1,70 @@
+//! Offline trace queries: filtering and causal-chain reconstruction over a
+//! parsed event log (what `tracectl` runs against a TSV dump).
+
+use crate::event::TraceEvent;
+
+/// Conjunctive event filter; `None` fields match everything.
+#[derive(Clone, Debug, Default)]
+pub struct Filter {
+    /// Only events at this pid.
+    pub pid: Option<u32>,
+    /// Only events concerning this (large-)group id.
+    pub gid: Option<u64>,
+    /// Only events at `t >= from` (simulated microseconds).
+    pub from: Option<u64>,
+    /// Only events at `t <= to`.
+    pub to: Option<u64>,
+}
+
+impl Filter {
+    /// Whether `ev` passes every set criterion.
+    pub fn matches(&self, ev: &TraceEvent) -> bool {
+        self.pid.is_none_or(|p| ev.pid == p)
+            && self.gid.is_none_or(|g| ev.kind.gid() == Some(g))
+            && self.from.is_none_or(|t| ev.at >= t)
+            && self.to.is_none_or(|t| ev.at <= t)
+    }
+
+    /// Applies the filter, preserving order.
+    pub fn apply<'a>(&self, events: &'a [TraceEvent]) -> Vec<&'a TraceEvent> {
+        events.iter().filter(|e| self.matches(e)).collect()
+    }
+}
+
+/// Parses a TSV dump; returns the events plus the 1-based line numbers that
+/// failed to parse (blank lines are skipped silently).
+pub fn parse_dump(text: &str) -> (Vec<TraceEvent>, Vec<usize>) {
+    let mut events = Vec::new();
+    let mut bad = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::parse_tsv(line) {
+            Some(ev) => events.push(ev),
+            None => bad.push(i + 1),
+        }
+    }
+    (events, bad)
+}
+
+/// Reconstructs the causal chain ending at `seq`: the event plus all its
+/// `cause` ancestors present in `events`, oldest first. `events` must be
+/// sorted by seq (the natural dump order).
+pub fn chain(events: &[TraceEvent], seq: u64) -> Vec<TraceEvent> {
+    let find = |s: u64| {
+        events
+            .binary_search_by_key(&s, |e| e.seq)
+            .ok()
+            .and_then(|i| events.get(i))
+    };
+    let mut out = Vec::new();
+    let mut cur = Some(seq);
+    while let Some(s) = cur {
+        let Some(ev) = find(s) else { break };
+        out.push(ev.clone());
+        cur = ev.cause;
+    }
+    out.reverse();
+    out
+}
