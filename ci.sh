@@ -2,18 +2,24 @@
 # Tier-1 gate, runnable offline on any machine with a Rust toolchain:
 #   1. release build of the whole workspace,
 #   2. full test suite (includes detlint's self-check, the determinism
-#      regression tests, and the tracer on/off byte-identity proof),
+#      regression tests — serial and parallel — and the tracer on/off
+#      byte-identity proof),
 #   3. monitor-armed quick experiment sweep: every experiment runs with the
 #      online virtual-synchrony invariant monitors in panic mode, so any
 #      violation anywhere in the stack fails the gate,
-#   4. trace demo + Chrome export artifacts (tracectl smoke test),
-#   5. the determinism linter, emitting its machine-readable report.
+#   4. microbench regression gate: the sweep's fresh hot-path medians must
+#      stay within 2x of the committed BENCH_results.json baseline,
+#   5. trace demo + Chrome export artifacts (tracectl smoke test),
+#   6. the determinism linter, emitting its machine-readable report.
 # Fails on the first broken step or on any non-allowlisted lint finding.
 # Artifacts land in BENCH_artifacts/.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 mkdir -p BENCH_artifacts
+
+# Snapshot the committed baseline before the sweep overwrites it.
+cp BENCH_results.json BENCH_artifacts/baseline.json
 
 echo "==> cargo build --release"
 cargo build --release
@@ -24,6 +30,10 @@ cargo test -q
 echo "==> QUICK=1 NOW_MONITORS=1 all_experiments (invariant monitors armed)"
 QUICK=1 NOW_MONITORS=1 cargo run --quiet --release -p isis-bench --bin all_experiments \
     | tee BENCH_artifacts/experiments_quick.txt
+
+echo "==> bench_gate (hot-path medians vs committed baseline)"
+cargo run --quiet --release -p isis-bench --bin bench_gate -- \
+    BENCH_artifacts/baseline.json BENCH_results.json
 
 echo "==> trace demo + tracectl export"
 cargo run --quiet --release -p isis-bench --bin trace_demo

@@ -4,7 +4,7 @@
 //! the paper compares (flat coordinator-cohort vs leaf-scoped request).
 
 use isis_bench::microbench::{BatchSize, Criterion};
-use isis_bench::{criterion_group, criterion_main};
+use isis_bench::{criterion_group, criterion_main, enginebench};
 
 use isis_bench::harness::{flat_service, hier_service_with, FLAT_GID, LGID};
 use isis_core::testutil::cluster;
@@ -38,6 +38,48 @@ fn bench_vclock(c: &mut Criterion) {
         stamp.set(Pid(5), 11);
         b.iter(|| std::hint::black_box(delivered.deliverable(Pid(5), &stamp)));
     });
+    g.finish();
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_step");
+    g.sample_size(15);
+    for n in [16usize, 64] {
+        g.bench_function(format!("relay_ring_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut sim, pids) = enginebench::relay_ring(n, 5);
+                    sim.run_for(SimDuration::from_secs(1));
+                    (sim, pids)
+                },
+                |(mut sim, pids)| {
+                    assert_eq!(enginebench::run_relay_ring(&mut sim, &pids, 20_000), 20_001);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multicast");
+    g.sample_size(15);
+    for n in [16usize, 64, 256] {
+        g.bench_function(format!("fanout_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut sim, hub) = enginebench::fanout_star(n, 6);
+                    sim.run_for(SimDuration::from_secs(1));
+                    (sim, hub)
+                },
+                |(mut sim, hub)| {
+                    assert_eq!(enginebench::run_fanout_star(&mut sim, hub, 200), 200);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
     g.finish();
 }
 
@@ -188,6 +230,8 @@ fn bench_view_change(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_vclock,
+    bench_sim_step,
+    bench_multicast,
     bench_flat_abcast,
     bench_flat_request,
     bench_tree_broadcast,

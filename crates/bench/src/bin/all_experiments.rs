@@ -4,6 +4,7 @@
 //! plus microbench timings) so the performance trajectory can be tracked
 //! across PRs instead of only via prose tables.
 
+use isis_bench::enginebench;
 use isis_bench::experiments as ex;
 use isis_bench::harness::flat_service;
 use isis_bench::microbench::{self, BatchSize, Criterion};
@@ -14,14 +15,18 @@ use now_sim::{Pid, SimDuration};
 
 fn main() {
     let q = isis_bench::quick_mode();
+    let jobs = isis_bench::jobs();
+    let t0 = std::time::Instant::now();
     let tables = [
         ex::e1(q), ex::e2(q), ex::e3(q), ex::e4(q), ex::e5(q), ex::e6(q),
         ex::e7(q), ex::e8(q), ex::e9(q), ex::e10(q), ex::a1(q), ex::a2(q),
         ex::partitions(q),
     ];
+    let wall_clock_s = t0.elapsed().as_secs_f64();
     for t in &tables {
         t.print();
     }
+    println!("sweep wall-clock: {wall_clock_s:.2} s with {jobs} job(s)");
 
     println!("== microbench ==");
     microbenches(q);
@@ -42,8 +47,10 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n\"quick\": {},\n\"experiments\": [\n{}\n],\n\"microbench\": [\n{}\n]\n}}\n",
+        "{{\n\"quick\": {},\n\"jobs\": {},\n\"wall_clock_s\": {:.3},\n\"experiments\": [\n{}\n],\n\"microbench\": [\n{}\n]\n}}\n",
         q,
+        jobs,
+        wall_clock_s,
         exp_json.join(",\n"),
         mb_json.join(",\n")
     );
@@ -105,6 +112,40 @@ fn microbenches(quick: bool) {
                 }
                 cl.sim.run_for(SimDuration::from_secs(5));
                 assert_eq!(cl.sim.process(cl.pids[1]).app().payloads(gid).len(), 10);
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("sim_step");
+    g.sample_size(if quick { 5 } else { 15 });
+    g.bench_function("relay_ring_n64", |b| {
+        b.iter_batched(
+            || {
+                let (mut sim, pids) = enginebench::relay_ring(64, 5);
+                sim.run_for(SimDuration::from_secs(1));
+                (sim, pids)
+            },
+            |(mut sim, pids)| {
+                assert_eq!(enginebench::run_relay_ring(&mut sim, &pids, 20_000), 20_001);
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("multicast");
+    g.sample_size(if quick { 5 } else { 15 });
+    g.bench_function("fanout_n64", |b| {
+        b.iter_batched(
+            || {
+                let (mut sim, hub) = enginebench::fanout_star(64, 6);
+                sim.run_for(SimDuration::from_secs(1));
+                (sim, hub)
+            },
+            |(mut sim, hub)| {
+                assert_eq!(enginebench::run_fanout_star(&mut sim, hub, 200), 200);
             },
             BatchSize::PerIteration,
         );

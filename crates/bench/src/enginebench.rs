@@ -1,0 +1,183 @@
+//! Raw-engine microbench fixtures: tiny processes with no protocol logic
+//! on top, so `sim_step/*` and `multicast/*` time the simulator itself —
+//! event pop, route, deliver, and multicast fan-out — rather than ISIS.
+
+use now_sim::{Ctx, Pid, Process, Sim, SimConfig};
+
+/// Ring relay: each delivery forwards the remaining hop count to the next
+/// peer. One live message circulates, so a run of `hops` hops is exactly
+/// `hops` pop→invoke→route cycles of the engine.
+pub struct Relay {
+    next: Pid,
+    delivered: u64,
+}
+
+impl Process for Relay {
+    type Msg = u64;
+
+    fn on_message(&mut self, _from: Pid, hops: u64, ctx: &mut Ctx<'_, u64>) {
+        self.delivered += 1;
+        if hops > 0 {
+            ctx.send(self.next, hops - 1);
+        }
+    }
+}
+
+/// Builds a ring of `n` relays on an ideal network.
+pub fn relay_ring(n: usize, seed: u64) -> (Sim<Relay>, Vec<Pid>) {
+    assert!(n >= 2, "a ring needs at least two relays");
+    let mut sim = Sim::new(SimConfig::ideal(seed));
+    let nodes = sim.add_nodes(n);
+    let pids: Vec<Pid> = nodes
+        .iter()
+        .map(|&nd| {
+            sim.spawn(
+                nd,
+                Relay {
+                    next: Pid(0),
+                    delivered: 0,
+                },
+            )
+        })
+        .collect();
+    for (i, &p) in pids.iter().enumerate() {
+        let next = pids[(i + 1) % n];
+        sim.invoke(p, move |r, _ctx| r.next = next);
+    }
+    (sim, pids)
+}
+
+/// Sends one message around the ring for `hops` hops and returns the total
+/// number of deliveries observed (always `hops + 1`: the seed delivery plus
+/// one per forwarded hop).
+pub fn run_relay_ring(sim: &mut Sim<Relay>, pids: &[Pid], hops: u64) -> u64 {
+    sim.invoke(pids[0], move |r, ctx| ctx.send(r.next, hops));
+    while sim.step() {}
+    let mut total = 0;
+    for &p in pids {
+        sim.invoke(p, |r, _ctx| total += std::mem::take(&mut r.delivered));
+    }
+    while sim.step() {}
+    total
+}
+
+/// Star fan-out message: the hub multicasts a heap payload, spokes ack it.
+#[derive(Clone, Debug)]
+pub enum FanMsg {
+    /// Hub → every spoke. The body rides in one shared envelope.
+    Ping { round: u32, body: String },
+    /// Spoke → hub.
+    Ack,
+}
+
+/// Star hub/spoke: the hub multicasts `Ping` to every spoke, and once all
+/// acks are back it starts the next round. Each round is one `multicast`
+/// action fanned out to `n - 1` destinations plus `n - 1` ack sends.
+pub struct Fanout {
+    spokes: Vec<Pid>,
+    acks: usize,
+    rounds_left: u32,
+    /// Rounds fully acknowledged at the hub.
+    pub rounds_done: u32,
+}
+
+impl Process for Fanout {
+    type Msg = FanMsg;
+
+    fn on_message(&mut self, from: Pid, msg: FanMsg, ctx: &mut Ctx<'_, FanMsg>) {
+        match msg {
+            FanMsg::Ping { .. } => ctx.send(from, FanMsg::Ack),
+            FanMsg::Ack => {
+                self.acks += 1;
+                if self.acks == self.spokes.len() {
+                    self.acks = 0;
+                    self.rounds_done += 1;
+                    if self.rounds_left > 0 {
+                        self.rounds_left -= 1;
+                        start_round(self, ctx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn start_round(hub: &mut Fanout, ctx: &mut Ctx<'_, FanMsg>) {
+    ctx.multicast(
+        hub.spokes.iter().copied(),
+        FanMsg::Ping {
+            round: hub.rounds_left,
+            body: "quote: ACME 42.17 +0.3".into(),
+        },
+    );
+}
+
+/// Builds a hub plus `n - 1` spokes on an ideal network; returns the sim
+/// and the hub's pid.
+pub fn fanout_star(n: usize, seed: u64) -> (Sim<Fanout>, Pid) {
+    assert!(n >= 2, "a star needs a hub and at least one spoke");
+    let mut sim = Sim::new(SimConfig::ideal(seed));
+    let nodes = sim.add_nodes(n);
+    let pids: Vec<Pid> = nodes
+        .iter()
+        .map(|&nd| {
+            sim.spawn(
+                nd,
+                Fanout {
+                    spokes: Vec::new(),
+                    acks: 0,
+                    rounds_left: 0,
+                    rounds_done: 0,
+                },
+            )
+        })
+        .collect();
+    let hub = pids[0];
+    let spokes: Vec<Pid> = pids[1..].to_vec();
+    sim.invoke(hub, move |h, _ctx| h.spokes = spokes);
+    (sim, hub)
+}
+
+/// Runs `rounds` fully-acknowledged multicast rounds and returns how many
+/// completed.
+pub fn run_fanout_star(sim: &mut Sim<Fanout>, hub: Pid, rounds: u32) -> u32 {
+    sim.invoke(hub, move |h, ctx| {
+        h.rounds_left = rounds.saturating_sub(1);
+        start_round(h, ctx);
+    });
+    while sim.step() {}
+    let mut done = 0;
+    sim.invoke(hub, |h, _ctx| done = h.rounds_done);
+    while sim.step() {}
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_sim::SimDuration;
+
+    #[test]
+    fn relay_ring_delivers_every_hop() {
+        let (mut sim, pids) = relay_ring(8, 1);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(run_relay_ring(&mut sim, &pids, 1_000), 1_001);
+    }
+
+    #[test]
+    fn fanout_star_completes_every_round() {
+        let (mut sim, hub) = fanout_star(16, 2);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(run_fanout_star(&mut sim, hub, 50), 50);
+    }
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let run = || {
+            let (mut sim, hub) = fanout_star(9, 3);
+            let done = run_fanout_star(&mut sim, hub, 20);
+            (done, sim.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -11,7 +11,8 @@ use isis_hier::{HierView, LargeGroupConfig, LeafDesc};
 use isis_toolkit::flat::FlatService;
 
 use crate::harness::{
-    disturbed, event_cost, flat_service, flat_service_with, hier_service, hier_service_with, FLAT_GID, LGID,
+    disturbed, event_cost, flat_service, flat_service_with, hier_service, hier_service_with,
+    sweep_rows, FLAT_GID, LGID,
 };
 use crate::report::{f, Table};
 
@@ -32,7 +33,7 @@ pub fn e1(quick: bool) -> Table {
             "n", "flat_msgs", "flat_acting", "hier_msgs", "hier_acting", "leaf_size",
         ],
     );
-    for &n in &sizes(quick, &[2, 4, 8, 16, 32, 64, 128, 256], &[2, 8, 32]) {
+    sweep_rows(&mut t, sizes(quick, &[2, 4, 8, 16, 32, 64, 128, 256], &[2, 8, 32]), |n| {
         // Flat.
         let mut fsvc = flat_service(n, 100 + n as u64);
         fsvc.sim.stats_mut().reset_window();
@@ -62,15 +63,15 @@ pub fn e1(quick: bool) -> Table {
                 });
             });
 
-        t.row(vec![
+        vec![vec![
             n.to_string(),
             flat_msgs.to_string(),
             flat_acting.to_string(),
             hier_msgs.to_string(),
             hier_acting.to_string(),
             leaf_size.to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("flat_msgs = 2n exactly (request ×n + reply + result ×(n-1))");
     t.note("hier cost is 2·leaf_size regardless of n");
     t
@@ -89,7 +90,7 @@ pub fn e2(quick: bool) -> Table {
         ],
     );
     const REQS_PER_CLIENT: usize = 2;
-    for &c in &sizes(quick, &[8, 16, 32, 64], &[4, 8, 16]) {
+    sweep_rows(&mut t, sizes(quick, &[8, 16, 32, 64], &[4, 8, 16]), |c| {
         let n = (c / 2).max(2);
 
         // Flat: service of n members; c clients each fire REQS requests.
@@ -160,15 +161,15 @@ pub fn e2(quick: bool) -> Table {
                 }
             });
 
-        t.row(vec![
+        vec![vec![
             c.to_string(),
             n.to_string(),
             flat_msgs.to_string(),
             n.max(3).to_string(),
             hier_msgs.to_string(),
             f(flat_msgs as f64 / hier_msgs.max(1) as f64),
-        ]);
-    }
+        ]]
+    });
     t.note("flat grows ~quadratically in clients (2n per request, n ∝ c)");
     t.note("hier grows linearly (2·leaf per request, leaf size constant)");
     t
@@ -185,7 +186,7 @@ pub fn e3(quick: bool) -> Table {
         "cost of one member failure: flat O(n) messages vs hier leaf-bounded",
         &["n", "flat_msgs", "flat_disturbed", "hier_msgs", "hier_disturbed"],
     );
-    for &n in &sizes(quick, &[4, 8, 16, 32, 64, 128, 256, 512], &[4, 16, 64]) {
+    sweep_rows(&mut t, sizes(quick, &[4, 8, 16, 32, 64, 128, 256, 512], &[4, 16, 64]), |n| {
         // Flat, quiet: the harness plays failure detector (reports the
         // suspicion at every survivor), so only membership traffic flows.
         let mut fsvc = flat_service(n, 500 + n as u64);
@@ -234,14 +235,14 @@ pub fn e3(quick: bool) -> Table {
                 }
             });
 
-        t.row(vec![
+        vec![vec![
             n.to_string(),
             flat_msgs.to_string(),
             flat_dist.to_string(),
             hier_msgs.to_string(),
             hier_dist.to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("flat: every survivor participates in the flush (O(n) msgs, all disturbed)");
     t.note("hier: the leaf flush + one leader report (constant, leaf-bounded)");
     t
@@ -269,15 +270,17 @@ pub fn e4(quick: bool) -> Table {
     // Load-dependent per-member failure probability: bigger groups do more
     // work per request (2r messages), so p grows with r.
     let load = |r: usize| (p + 0.012 * r as f64).min(1.0);
-    let mut rng = DetRng::seed_from_u64(42);
     let rs: Vec<usize> = if quick {
         vec![1, 2, 3, 5, 8]
     } else {
         vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 16]
     };
-    for &r in &rs {
+    sweep_rows(&mut t, rs, |r| {
         let analytic = 1.0 - p.powi(r as i32);
         let trials = if quick { 20_000 } else { 200_000 };
+        // Each point gets its own seed: the Monte-Carlo estimate must not
+        // depend on how many points ran before it (or on which thread).
+        let mut rng = DetRng::seed_from_u64(42 + r as u64);
         let mc = (0..trials)
             .filter(|_| (0..r).any(|_| rng.gen_f64() >= p))
             .count() as f64
@@ -303,15 +306,15 @@ pub fn e4(quick: bool) -> Table {
             fsvc.sim.process(fsvc.client).app().replies.contains_key(&req)
         };
 
-        t.row(vec![
+        vec![vec![
             r.to_string(),
             (2 * r).to_string(),
             f(analytic),
             f(mc),
             f(with_load),
             survives.to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("P_ok: request outlives the window if any of r members survives (p = per-member failure prob)");
     t.note("P_ok_load: with load-dependent failure p(r) = p + 0.012r, reliability peaks near r≈5 and then falls");
     t.note("survives_r-1: simulated — service of r answers after r-1 crashes (the resiliency contract)");
@@ -336,7 +339,7 @@ pub fn e5(quick: bool) -> Table {
             "hier_proc_ms",
         ],
     );
-    for &n in &sizes(quick, &[8, 16, 32, 64, 128], &[8, 24]) {
+    sweep_rows(&mut t, sizes(quick, &[8, 16, 32, 64, 128], &[8, 24]), |n| {
         // Flat with live failure detection.
         let (mut sim, members) = generic_cluster(
             n,
@@ -367,15 +370,15 @@ pub fn e5(quick: bool) -> Table {
 
         let fails_per_hour = n as f64 / 72.0;
         let leaf_n = peers.len();
-        t.row(vec![
+        vec![vec![
             n.to_string(),
             f(fails_per_hour),
             f(flat_reconv.as_millis_f64()),
             f(flat_reconv.as_millis_f64() * (n - 1) as f64),
             f(hier_reconv.as_millis_f64()),
             f(hier_reconv.as_millis_f64() * (leaf_n - 1) as f64),
-        ]);
-    }
+        ]]
+    });
     t.note("fail/hr: expected component failures per hour grows linearly with n (the paper's premise)");
     t.note("proc_ms: process·milliseconds of disturbance per failure = reconv × processes wedged");
     t.note("flat disturbance per failure grows with n; hierarchical stays leaf-bounded");
@@ -421,7 +424,7 @@ pub fn e6(quick: bool) -> Table {
         "processes notified per failure: flat n-1 vs hier bounded; total leaf failure informs only the parent",
         &["n", "flat_notified", "hier_notified", "leaf_size", "leafdeath_notified"],
     );
-    for &n in &sizes(quick, &[8, 16, 32, 64, 128, 256], &[8, 24, 64]) {
+    sweep_rows(&mut t, sizes(quick, &[8, 16, 32, 64, 128, 256], &[8, 24, 64]), |n| {
         // Flat (quiet + harness-reported suspicion, as in E3).
         let mut fsvc = flat_service(n, 1_000 + n as u64);
         let victim = fsvc.members[1];
@@ -490,14 +493,14 @@ pub fn e6(quick: bool) -> Table {
                 }
             });
 
-        t.row(vec![
+        vec![vec![
             n.to_string(),
             flat_notified.to_string(),
             hier_notified.to_string(),
             leaf_size.to_string(),
             leafdeath_notified.to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("hier: only the victim's leaf peers and the leader group see membership traffic");
     t.note("leafdeath: the parent rep detects the silence and informs the leader; the new structure then flows down the tree, touching one rep per leaf (fanout-bounded per process) and no plain members");
     t
@@ -521,11 +524,8 @@ pub fn e7(quick: bool) -> Table {
         ],
     );
     let cfg = LargeGroupConfig::new(3, 8);
-    for &n in &sizes(
-        quick,
-        &[8, 64, 256, 1_024, 4_096, 16_384],
-        &[8, 256, 4_096],
-    ) {
+    let ns = sizes(quick, &[8, 64, 256, 1_024, 4_096, 16_384], &[8, 256, 4_096]);
+    sweep_rows(&mut t, ns, |n| {
         // Representation sizes from the actual data structures.
         let flat_view = GroupView {
             gid: FLAT_GID,
@@ -554,14 +554,14 @@ pub fn e7(quick: bool) -> Table {
             leader_contacts: (0..cfg.resiliency as u32).map(Pid).collect(),
         };
         let rep_slice = hview.slice_for(nleaves.saturating_sub(1) / 2);
-        t.row(vec![
+        vec![vec![
             n.to_string(),
             flat_view.storage_bytes().to_string(),
             leaf_view.storage_bytes().to_string(),
             (leaf_view.storage_bytes() + rep_slice.storage_bytes()).to_string(),
             hview.storage_bytes().to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("flat member stores the full membership: O(n)");
     t.note("hier member stores only its leaf view; a rep adds an O(fanout) routing slice");
     t.note("only the leader group stores the leaf list — 'a complete list of the processes is not explicitly stored anywhere'");
@@ -612,8 +612,21 @@ pub fn e8(quick: bool) -> Table {
     );
     let ns: Vec<usize> = sizes(quick, &[32, 128, 512], &[32, 96]);
     let fs: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 16] };
+    let mut points: Vec<(usize, usize)> = Vec::new();
     for &n in &ns {
         for &fan in &fs {
+            points.push((n, fan));
+        }
+    }
+    if !quick {
+        // The paper's target scale: live multistage broadcasts over two
+        // thousand members (wide fanouts only — fanout 2 at this size means
+        // a thousand leaves and tells us nothing new about the bound).
+        points.push((2_048, 8));
+        points.push((2_048, 16));
+    }
+    sweep_rows(&mut t, points, |(n, fan)| {
+        {
             let cfg = LargeGroupConfig::new(3, fan).counting();
             let mut h = hier_service_with(
                 n,
@@ -667,7 +680,7 @@ pub fn e8(quick: bool) -> Table {
             h.sim.run_for(SimDuration::from_secs(5));
             let max_dests = h.sim.stats().max_distinct_destinations();
             let bound = fan + cfg.max_leaf + 2;
-            t.row(vec![
+            vec![vec![
                 n.to_string(),
                 fan.to_string(),
                 view.num_leaves().to_string(),
@@ -676,9 +689,9 @@ pub fn e8(quick: bool) -> Table {
                 bound.to_string(),
                 h.sim.stats().messages_sent.to_string(),
                 f(latency.as_millis_f64()),
-            ]);
+            ]]
         }
-    }
+    });
     t.note("bound = fanout + leaf_size + 2 (children + own leaf + parent ack + origin ack)");
     t.note("total_msgs ≈ n + #leaves·2: one delivery per member plus tree overhead");
     t.note("latency is on the ideal (microsecond) network: read its *growth* with depth, not its absolute value");
@@ -704,9 +717,11 @@ pub fn e9(quick: bool) -> Table {
         ],
     );
     let quotes = if quick { 20 } else { 60 };
-    let ns = sizes(quick, &[100, 300, 500], &[24, 60]);
-    for &n in &ns {
-        let r = isis_apps::drivers::run_trading_hier_with(
+    // The paper pitches the trading room at 100–500 workstations; the full
+    // sweep pushes past that to a thousand analysts on one floor.
+    let ns = sizes(quick, &[100, 300, 500, 1_000], &[24, 60]);
+    sweep_rows(&mut t, ns, |n| {
+        let h = isis_apps::drivers::run_trading_hier_with(
             n,
             quotes,
             200,
@@ -714,26 +729,28 @@ pub fn e9(quick: bool) -> Table {
             IsisConfig::quiet(),
             2_000 + n as u64,
         );
-        t.row(vec![
-            n.to_string(),
-            "hier".into(),
-            f(r.p50_ms),
-            f(r.p99_ms),
-            r.max_fanout.to_string(),
-            r.messages.to_string(),
-            f(r.delivery_ratio),
-        ]);
-        let r = isis_apps::run_trading_flat(n, quotes, 200, 2_100 + n as u64);
-        t.row(vec![
-            n.to_string(),
-            "flat".into(),
-            f(r.p50_ms),
-            f(r.p99_ms),
-            r.max_fanout.to_string(),
-            r.messages.to_string(),
-            f(r.delivery_ratio),
-        ]);
-    }
+        let fl = isis_apps::run_trading_flat(n, quotes, 200, 2_100 + n as u64);
+        vec![
+            vec![
+                n.to_string(),
+                "hier".into(),
+                f(h.p50_ms),
+                f(h.p99_ms),
+                h.max_fanout.to_string(),
+                h.messages.to_string(),
+                f(h.delivery_ratio),
+            ],
+            vec![
+                n.to_string(),
+                "flat".into(),
+                f(fl.p50_ms),
+                f(fl.p99_ms),
+                fl.max_fanout.to_string(),
+                fl.messages.to_string(),
+                f(fl.delivery_ratio),
+            ],
+        ]
+    });
     t.note("hier: feed fanout stays bounded; flat: the feed contacts all n-1 analysts per quote");
     t.note("both sides run maintenance-quiet so msgs counts only quote dissemination; E5 covers liveness costs");
     t
@@ -756,20 +773,23 @@ pub fn e10(quick: bool) -> Table {
             "conserved",
         ],
     );
-    let ns = sizes(quick, &[30, 60], &[12]);
-    for &n in &ns {
-        for &k in &[0usize, 3] {
-            let r = isis_apps::run_factory(n, 8, if quick { 3 } else { 4 }, k, 3_000 + n as u64);
-            t.row(vec![
-                n.to_string(),
-                k.to_string(),
-                r.attempts.to_string(),
-                r.committed.to_string(),
-                f(r.availability),
-                r.conserved.to_string(),
-            ]);
+    let mut points: Vec<(usize, usize)> = Vec::new();
+    for &n in &sizes(quick, &[30, 60], &[12]) {
+        for k in [0usize, 3] {
+            points.push((n, k));
         }
     }
+    sweep_rows(&mut t, points, |(n, k)| {
+        let r = isis_apps::run_factory(n, 8, if quick { 3 } else { 4 }, k, 3_000 + n as u64);
+        vec![vec![
+            n.to_string(),
+            k.to_string(),
+            r.attempts.to_string(),
+            r.committed.to_string(),
+            f(r.availability),
+            r.conserved.to_string(),
+        ]]
+    });
     t.note("conserved: initial_parts - remaining == 2 × products, audited after the run");
     t
 }
@@ -790,7 +810,7 @@ pub fn a1(quick: bool) -> Table {
             "full_repl_storage_B",
         ],
     );
-    for &n in &sizes(quick, &[16, 64, 256, 1_024], &[16, 64]) {
+    sweep_rows(&mut t, sizes(quick, &[16, 64, 256, 1_024], &[16, 64]), |n| {
         // Measured: messages that flow when one leaf's contacts change
         // (a rep change) under the leader design.
         let cfg = LargeGroupConfig::new(3, 4);
@@ -815,7 +835,7 @@ pub fn a1(quick: bool) -> Table {
         };
         let nleaves = n.div_ceil(cfg.max_leaf);
         let hview_bytes = 24 + nleaves * (8 + 4 * cfg.resiliency + 8);
-        t.row(vec![
+        vec![vec![
             n.to_string(),
             if measured > 0 {
                 measured.to_string()
@@ -825,8 +845,8 @@ pub fn a1(quick: bool) -> Table {
             n.to_string(),
             (cfg.resiliency * hview_bytes).to_string(),
             (n * hview_bytes).to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("leader design: a membership change costs a leaf flush + leader-group update, independent of n");
     t.note("full replication would push every change to all n members and store the view n times");
     t
@@ -844,14 +864,13 @@ pub fn a2(quick: bool) -> Table {
     );
     let bands: Vec<(usize, usize)> = vec![(2, 4), (3, 7), (4, 12)];
     let n = if quick { 18 } else { 36 };
-    for (lo, hi) in bands {
+    sweep_rows(&mut t, bands, |(lo, hi)| {
         let cfg = LargeGroupConfig::new(2, 4).with_leaf_band(lo, hi);
         let mut h = hier_service_with(n, cfg, IsisConfig::default(), 5_000 + (lo * 10 + hi) as u64);
         h.sim.stats_mut().reset_window();
         // Churn: drain two leaves down to one member each (forcing merges
         // under narrow bands), then admit replacements (forcing mints and,
         // where dissolves overfill a target, splits).
-        let mut rng = DetRng::seed_from_u64(7);
         let dir = h.directory();
         for (gid, _) in dir.iter().rev().take(2) {
             let in_leaf = h.leaf_members(*gid);
@@ -860,7 +879,6 @@ pub fn a2(quick: bool) -> Table {
                 h.sim.run_for(SimDuration::from_secs(3));
             }
         }
-        let _ = &mut rng;
         for _ in 0..n / 4 {
             let nd = h.sim.add_nodes(1)[0];
             let p = h.sim.spawn(
@@ -887,15 +905,15 @@ pub fn a2(quick: bool) -> Table {
             .app()
             .leader_view(LGID)
             .unwrap();
-        t.row(vec![
+        vec![vec![
             format!("[{lo},{hi}]"),
             st.counter("hier.splits").to_string(),
             st.counter("hier.dissolves").to_string(),
             st.counter("isis.views_installed").to_string(),
             st.messages_sent.to_string(),
             view.num_leaves().to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("narrow bands reorganise more under the same churn; wide bands tolerate drift");
     t
 }
@@ -910,7 +928,7 @@ pub fn partitions(_quick: bool) -> Table {
         "network partition: primary partition continues, minority stalls (no split-brain)",
         &["n", "minority", "majority_view", "minority_stalled", "split_brain"],
     );
-    for &(n, k) in &[(5usize, 2usize), (9, 4), (15, 7)] {
+    sweep_rows(&mut t, vec![(5usize, 2usize), (9, 4), (15, 7)], |(n, k)| {
         let (mut sim, members) = generic_cluster(
             n,
             FLAT_GID,
@@ -933,14 +951,14 @@ pub fn partitions(_quick: bool) -> Table {
         let split_brain = members[n - k..]
             .iter()
             .any(|&m| sim.process(m).view_of(FLAT_GID).is_some_and(|v| v.size() == k));
-        t.row(vec![
+        vec![vec![
             n.to_string(),
             k.to_string(),
             majority_ok.to_string(),
             minority_stalled.to_string(),
             split_brain.to_string(),
-        ]);
-    }
+        ]]
+    });
     t.note("with partition_safety on, only a strict majority may install new views");
     t
 }

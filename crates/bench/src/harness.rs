@@ -148,6 +148,23 @@ impl HierSvc {
     }
 }
 
+/// Runs one closure per sweep point on the parallel sweep runner
+/// ([`crate::par_sweep`]) and appends the returned rows to `t` in input
+/// order, so the emitted table is byte-identical whatever `NOW_JOBS` says.
+/// Each closure builds, runs, and measures its own simulations — nothing
+/// simulation-shaped ever crosses a thread.
+pub fn sweep_rows<I: Send>(
+    t: &mut crate::report::Table,
+    points: Vec<I>,
+    f: impl Fn(I) -> Vec<Vec<String>> + Sync,
+) {
+    for rows in crate::par_sweep(points, f) {
+        for row in rows {
+            t.row(row);
+        }
+    }
+}
+
 /// Number of processes that received at least one message in the current
 /// stats window — the "disturbed set" of an event.
 pub fn disturbed<S>(sim: &Sim<S>, pids: &[Pid]) -> usize

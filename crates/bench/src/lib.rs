@@ -3,9 +3,12 @@
 //! (A1–A2) and a partition scenario. Each `e*`/`a*` binary prints the
 //! corresponding table; `QUICK=1` shrinks the sweeps.
 
+pub mod enginebench;
 pub mod experiments;
 pub mod harness;
 pub mod microbench;
+pub mod par_sweep;
 pub mod report;
 
+pub use par_sweep::{jobs, par_sweep, par_sweep_jobs};
 pub use report::{quick_mode, Table};

@@ -3,6 +3,19 @@
 //! records the full-size tables.
 
 use isis_bench::experiments as ex;
+use isis_bench::par_sweep_jobs;
+
+#[test]
+fn whole_tables_render_identically_from_parallel_workers() {
+    // Drive entire experiments through the runner itself (each worker
+    // renders one full table): the same harness the sweeps use internally,
+    // exercised here at the coarsest grain.
+    type TableFn = fn(bool) -> isis_bench::Table;
+    let fns: Vec<TableFn> = vec![ex::e1, ex::e7, ex::partitions];
+    let serial = par_sweep_jobs(1, fns.clone(), |f| f(true).render());
+    let parallel = par_sweep_jobs(4, fns, |f| f(true).render());
+    assert_eq!(serial, parallel);
+}
 
 #[test]
 fn e1_flat_is_exactly_2n_and_hier_is_leaf_bounded() {

@@ -54,19 +54,74 @@ pub(crate) enum Effect<P> {
     DropGroup { gid: GroupId },
 }
 
+/// Interned per-category send counters, indexed by
+/// [`IsisMsg::category_index`](crate::msg::IsisMsg::category_index).
+/// Registered once per simulation on the first protocol send, so the
+/// per-message cost is a single array index — no string comparison, no
+/// tree walk, no allocation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SentCounters {
+    ids: [now_sim::CounterId; SENT_COUNTER_NAMES.len()],
+}
+
+/// Counter names in [`IsisMsg::category_index`] order.
+const SENT_COUNTER_NAMES: [&str; 15] = [
+    "isis.sent.join_req",
+    "isis.sent.join_fwd",
+    "isis.sent.join_denied",
+    "isis.sent.leave_req",
+    "isis.sent.suspect",
+    "isis.sent.flush",
+    "isis.sent.flush_ack",
+    "isis.sent.install",
+    "isis.sent.cast_fifo",
+    "isis.sent.cast_causal",
+    "isis.sent.cast_total",
+    "isis.sent.abcast_order",
+    "isis.sent.cast_ack",
+    "isis.sent.heartbeat",
+    "isis.sent.direct",
+];
+
+impl SentCounters {
+    pub(crate) fn register<M>(ctx: &mut Ctx<'_, M>) -> SentCounters {
+        SentCounters {
+            ids: SENT_COUNTER_NAMES.map(|name| ctx.counter_id(name)),
+        }
+    }
+}
+
 /// Borrowed context handed to every runtime method: the simulator effect
 /// context, configuration, and the pending effect queue.
 pub(crate) struct Env<'a, 'b, A: Application> {
     pub ctx: &'a mut Ctx<'b, MsgOf<A>>,
     pub cfg: &'a IsisConfig,
     pub effects: &'a mut Vec<Effect<A::Payload>>,
+    /// Process-cached send-counter handles (filled on first send).
+    pub sent: &'a mut Option<SentCounters>,
 }
 
 impl<'a, 'b, A: Application> Env<'a, 'b, A> {
     /// Sends a protocol message, bumping its per-category counter.
     pub fn send(&mut self, to: Pid, msg: MsgOf<A>) {
-        self.ctx.bump(sent_counter(msg.category()));
-        self.ctx.send(to, msg);
+        let ctx = &mut *self.ctx;
+        let sent = self.sent.get_or_insert_with(|| SentCounters::register(ctx));
+        ctx.bump_id(sent.ids[msg.category_index()]);
+        ctx.send(to, msg);
+    }
+
+    /// Sends one protocol message to every pid in `dsts` through the
+    /// engine's shared-payload multicast: the message is built once and
+    /// shared by `Rc` instead of deep-cloned per destination. Counts one
+    /// message per destination, exactly like a loop of [`Env::send`].
+    pub fn multicast(&mut self, dsts: Vec<Pid>, msg: MsgOf<A>) {
+        if dsts.is_empty() {
+            return;
+        }
+        let ctx = &mut *self.ctx;
+        let sent = self.sent.get_or_insert_with(|| SentCounters::register(ctx));
+        ctx.bump_id_by(sent.ids[msg.category_index()], dsts.len() as u64);
+        ctx.multicast(dsts, msg);
     }
 
     pub fn now(&self) -> SimTime {
@@ -87,28 +142,6 @@ pub(crate) fn trace_key(id: &MsgId) -> MsgKey {
 /// Flattens a [`VClock`] into the tracer's `(pid, count)` pairs.
 pub(crate) fn trace_vt(vt: &VClock) -> Vec<(u32, u64)> {
     vt.iter().map(|(p, v)| (p.0, v)).collect()
-}
-
-/// Maps a message category to its static counter name.
-fn sent_counter(cat: &'static str) -> &'static str {
-    match cat {
-        "join_req" => "isis.sent.join_req",
-        "join_fwd" => "isis.sent.join_fwd",
-        "join_denied" => "isis.sent.join_denied",
-        "leave_req" => "isis.sent.leave_req",
-        "suspect" => "isis.sent.suspect",
-        "flush" => "isis.sent.flush",
-        "flush_ack" => "isis.sent.flush_ack",
-        "install" => "isis.sent.install",
-        "cast_fifo" => "isis.sent.cast_fifo",
-        "cast_causal" => "isis.sent.cast_causal",
-        "cast_total" => "isis.sent.cast_total",
-        "abcast_order" => "isis.sent.abcast_order",
-        "cast_ack" => "isis.sent.cast_ack",
-        "heartbeat" => "isis.sent.heartbeat",
-        "direct" => "isis.sent.direct",
-        _ => "isis.sent.other",
-    }
 }
 
 /// Operational status of a group member.
@@ -212,6 +245,12 @@ pub(crate) struct GroupRuntime<A: Application> {
     /// per-view ordering monitors, which is correct: relays *are* the
     /// virtual-synchrony cut).
     in_relay: bool,
+
+    /// True when a stability input (a delivery, a peer snapshot, the view)
+    /// changed since the last completed [`GroupRuntime::gc_stability`] pass.
+    /// While clear, a GC pass would recompute the same floors and prune
+    /// nothing, so it is skipped outright.
+    stab_dirty: bool,
 }
 
 impl<A: Application> GroupRuntime<A> {
@@ -258,6 +297,7 @@ impl<A: Application> GroupRuntime<A> {
             ack_counts: BTreeMap::new(),
             future_inbox: Vec::new(),
             in_relay: false,
+            stab_dirty: true,
         };
         rt.reset_liveness(now);
         rt
@@ -356,9 +396,7 @@ impl<A: Application> GroupRuntime<A> {
                 });
                 self.deliver_causal_local(id, vt.clone(), payload.clone(), env);
                 let data = self.make_cast(CastKind::Causal, id, vt, want_ack, payload);
-                for p in self.peers() {
-                    env.send(p, IsisMsg::Cast(data.clone()));
-                }
+                env.multicast(self.peers(), IsisMsg::Cast(data));
             }
             CastKind::Fifo => {
                 self.fdel.set(self.me, id.seq);
@@ -369,9 +407,7 @@ impl<A: Application> GroupRuntime<A> {
                 });
                 self.deliver_fifo_local(id, payload.clone(), env);
                 let data = self.make_cast(CastKind::Fifo, id, VClock::new(), want_ack, payload);
-                for p in self.peers() {
-                    env.send(p, IsisMsg::Cast(data.clone()));
-                }
+                env.multicast(self.peers(), IsisMsg::Cast(data));
             }
             CastKind::Total => {
                 env.ctx.trace_with(|| TraceKind::CastSend {
@@ -386,9 +422,7 @@ impl<A: Application> GroupRuntime<A> {
                     want_ack,
                     payload.clone(),
                 );
-                for p in self.peers() {
-                    env.send(p, IsisMsg::Cast(data.clone()));
-                }
+                env.multicast(self.peers(), IsisMsg::Cast(data));
                 // Even the sender must wait for the global order.
                 self.adata.insert(
                     id,
@@ -564,17 +598,19 @@ impl<A: Application> GroupRuntime<A> {
 
     fn note_stab(&mut self, from: Pid, stab: &StabilityVector) {
         let e = self.stab_seen.entry(from).or_default();
-        if stab.view > e.view
-            || (stab.view == e.view
-                && (stab.adel > e.adel || stab.cvt != e.cvt || stab.fvt != e.fvt))
+        if stab.view > e.view {
+            *e = stab.clone();
+            self.stab_dirty = true;
+        } else if stab.view == e.view
+            && (stab.adel > e.adel || stab.cvt != e.cvt || stab.fvt != e.fvt)
         {
-            let mut merged = stab.clone();
-            if stab.view == e.view {
-                merged.cvt.merge(&e.cvt);
-                merged.fvt.merge(&e.fvt);
-                merged.adel = merged.adel.max(e.adel);
-            }
-            *e = merged;
+            // Pointwise max, merged in place (max is commutative, so
+            // merging the snapshot into the record equals rebuilding the
+            // record from the snapshot).
+            e.cvt.merge(&stab.cvt);
+            e.fvt.merge(&stab.fvt);
+            e.adel = e.adel.max(stab.adel);
+            self.stab_dirty = true;
         }
     }
 
@@ -600,6 +636,7 @@ impl<A: Application> GroupRuntime<A> {
         });
         self.delivered_ids.insert(id);
         self.retained_causal.insert(id, (vt, payload.clone()));
+        self.stab_dirty = true;
         env.effects.push(Effect::Deliver {
             gid: self.gid,
             from: id.sender,
@@ -620,6 +657,7 @@ impl<A: Application> GroupRuntime<A> {
         });
         self.delivered_ids.insert(id);
         self.retained_fifo.insert(id, payload.clone());
+        self.stab_dirty = true;
         env.effects.push(Effect::Deliver {
             gid: self.gid,
             from: id.sender,
@@ -646,6 +684,7 @@ impl<A: Application> GroupRuntime<A> {
         });
         self.delivered_ids.insert(id);
         self.retained_total.insert(gseq, (id, payload.clone()));
+        self.stab_dirty = true;
         env.effects.push(Effect::Deliver {
             gid: self.gid,
             from: id.sender,
@@ -729,9 +768,7 @@ impl<A: Application> GroupRuntime<A> {
             gseq,
             id,
         };
-        for p in self.peers() {
-            env.send(p, msg.clone());
-        }
+        env.multicast(self.peers(), msg);
     }
 
     // ------------------------------------------------------------------
@@ -739,61 +776,69 @@ impl<A: Application> GroupRuntime<A> {
     // ------------------------------------------------------------------
 
     /// Prunes buffers of messages everyone has delivered.
+    ///
+    /// Runs on the data path (after every cast and heartbeat), so it is
+    /// gated by `stab_dirty` — if no delivery, peer snapshot, or view has
+    /// changed since the last completed pass, the floors below would come
+    /// out identical and nothing new could be pruned — and the floors are
+    /// computed into one flat per-member table instead of keyed maps.
     fn gc_stability(&mut self) {
-        // My own vectors participate directly; peers' via stab_seen, valid
-        // only if they refer to the current view.
-        let mut peer_stabs: Vec<&StabilityVector> = Vec::new();
-        for p in self.peers() {
-            match self.stab_seen.get(&p) {
-                Some(s) if s.view == self.view.view_id => peer_stabs.push(s),
-                _ => return, // Cannot conclude stability yet.
-            }
+        if !self.stab_dirty {
+            return;
         }
         let vid = self.view.view_id;
-        let min_over = |own: u64, sel: &dyn Fn(&StabilityVector) -> u64| -> u64 {
-            peer_stabs.iter().map(|s| sel(s)).fold(own, u64::min)
-        };
-        let senders: Vec<Pid> = self.view.members.clone();
-        let mut stable_c: BTreeMap<Pid, u64> = BTreeMap::new();
-        let mut stable_f: BTreeMap<Pid, u64> = BTreeMap::new();
-        for &s in &senders {
-            stable_c.insert(s, min_over(self.cvt.get(s), &|sv| sv.cvt.get(s)));
-            stable_f.insert(s, min_over(self.fdel.get(s), &|sv| sv.fvt.get(s)));
+        let members = &self.view.members;
+        // Per-sender stable floors: the minimum of my own delivery vectors
+        // and every peer's snapshot (valid only if it refers to the current
+        // view — otherwise stability cannot be concluded yet and the pass
+        // is abandoned, leaving the dirty flag set for the next attempt).
+        let mut stable_c: Vec<u64> = members.iter().map(|&s| self.cvt.get(s)).collect();
+        let mut stable_f: Vec<u64> = members.iter().map(|&s| self.fdel.get(s)).collect();
+        let mut stable_a = self.adel;
+        for &p in members.iter().filter(|&&p| p != self.me) {
+            let sv = match self.stab_seen.get(&p) {
+                Some(sv) if sv.view == vid => sv,
+                _ => return,
+            };
+            for (k, &s) in members.iter().enumerate() {
+                stable_c[k] = stable_c[k].min(sv.cvt.get(s));
+                stable_f[k] = stable_f[k].min(sv.fvt.get(s));
+            }
+            stable_a = stable_a.min(sv.adel);
         }
-        let stable_a = peer_stabs
-            .iter()
-            .map(|s| s.adel)
-            .fold(self.adel, u64::min);
+        let floor = |table: &[u64], sender: Pid| -> u64 {
+            members
+                .iter()
+                .position(|&m| m == sender)
+                .map_or(0, |k| table[k])
+        };
 
-        self.retained_causal.retain(|id, _| {
-            id.view != vid || id.seq > stable_c.get(&id.sender).copied().unwrap_or(0)
-        });
-        self.retained_fifo.retain(|id, _| {
-            id.view != vid || id.seq > stable_f.get(&id.sender).copied().unwrap_or(0)
-        });
+        self.retained_causal
+            .retain(|id, _| id.view != vid || id.seq > floor(&stable_c, id.sender));
+        self.retained_fifo
+            .retain(|id, _| id.view != vid || id.seq > floor(&stable_f, id.sender));
         self.retained_total.retain(|gseq, _| *gseq > stable_a);
         self.aseq_assigned.retain(|_, gseq| *gseq > stable_a);
         self.delivered_ids.retain(|id| {
             if id.view != vid {
-                return true; // Cross-view ids pruned by all_installed below.
+                return true; // Cross-view ids pruned below.
             }
             match id.stream {
-                0 => id.seq > stable_c.get(&id.sender).copied().unwrap_or(0),
-                1 => id.seq > stable_f.get(&id.sender).copied().unwrap_or(0),
+                0 => id.seq > floor(&stable_c, id.sender),
+                1 => id.seq > floor(&stable_f, id.sender),
                 _ => true, // Total: keyed by gseq via retained_total; prune below.
             }
         });
         // Total-stream delivered ids: stable once their gseq is stable; we
         // no longer know the gseq after pruning retained_total, so prune by
         // the conservative rule "not in any live buffer and view is old".
-        let all_installed = peer_stabs.iter().all(|s| s.view == vid);
-        if all_installed {
-            self.retained_causal.retain(|id, _| id.view >= vid);
-            self.retained_fifo.retain(|id, _| id.view >= vid);
-            self.delivered_ids
-                .retain(|id| id.view + 1 >= vid || id.stream == 2);
-        }
+        // (Every peer snapshot was checked against `vid` above.)
+        self.retained_causal.retain(|id, _| id.view >= vid);
+        self.retained_fifo.retain(|id, _| id.view >= vid);
+        self.delivered_ids
+            .retain(|id| id.view + 1 >= vid || id.stream == 2);
         self.ack_counts.retain(|id, _| id.view + 1 >= vid);
+        self.stab_dirty = false;
     }
 
     /// Collects everything unstable for a flush ack (see
@@ -837,6 +882,7 @@ impl<A: Application> GroupRuntime<A> {
         env: &mut Env<'_, '_, A>,
     ) {
         self.in_relay = true;
+        self.stab_dirty = true;
         // Causal: sort by (vt sum, sender, seq) — a linear extension of the
         // causal order (vt sums strictly increase along causal chains).
         let mut causal: Vec<&(MsgId, VClock, A::Payload)> = relay.causal.iter().collect();
@@ -950,6 +996,7 @@ impl<A: Application> GroupRuntime<A> {
     pub(crate) fn install(&mut self, view: GroupView, now: SimTime) {
         debug_assert!(view.view_id > self.view.view_id);
         self.view = view;
+        self.stab_dirty = true;
         self.status = Status::Normal;
         self.seqs = [0; 3];
         self.cvt = VClock::new();
@@ -1009,14 +1056,12 @@ impl<A: Application> GroupRuntime<A> {
         }
         self.last_hb_sent = now;
         let stab = self.my_stab();
-        for p in self.peers() {
-            env.send(
-                p,
-                IsisMsg::Heartbeat {
-                    gid: self.gid,
-                    stab: stab.clone(),
-                },
-            );
-        }
+        env.multicast(
+            self.peers(),
+            IsisMsg::Heartbeat {
+                gid: self.gid,
+                stab,
+            },
+        );
     }
 }

@@ -188,6 +188,31 @@ impl<P, S> IsisMsg<P, S> {
         }
     }
 
+    /// Dense category index (same order as [`IsisMsg::category`] names),
+    /// used to pick the interned per-category send counter without string
+    /// comparisons on the hot path.
+    pub fn category_index(&self) -> usize {
+        match self {
+            IsisMsg::JoinReq { .. } => 0,
+            IsisMsg::JoinForward { .. } => 1,
+            IsisMsg::JoinDenied { .. } => 2,
+            IsisMsg::LeaveReq { .. } => 3,
+            IsisMsg::SuspectReport { .. } => 4,
+            IsisMsg::Flush { .. } => 5,
+            IsisMsg::FlushAck { .. } => 6,
+            IsisMsg::InstallView { .. } => 7,
+            IsisMsg::Cast(c) => match c.kind {
+                CastKind::Fifo => 8,
+                CastKind::Causal => 9,
+                CastKind::Total => 10,
+            },
+            IsisMsg::AbcastOrder { .. } => 11,
+            IsisMsg::CastAck { .. } => 12,
+            IsisMsg::Heartbeat { .. } => 13,
+            IsisMsg::Direct(_) => 14,
+        }
+    }
+
     /// The group this message concerns, if any.
     pub fn group(&self) -> Option<GroupId> {
         match self {

@@ -48,6 +48,12 @@ pub struct IsisProcess<A: Application> {
     views_cache: BTreeMap<GroupId, GroupView>,
     joining: BTreeMap<GroupId, JoinState>,
     orphans: Vec<(Pid, MsgOf<A>)>,
+    /// Interned per-category send-counter handles, registered on the first
+    /// protocol send (see [`crate::group::SentCounters`]).
+    sent_ids: Option<crate::group::SentCounters>,
+    /// Reusable group-id snapshot for the housekeeping tick (the tick runs
+    /// forever on every process, so it must not allocate per firing).
+    tick_gids: Vec<GroupId>,
 }
 
 impl<A: Application> IsisProcess<A> {
@@ -60,6 +66,8 @@ impl<A: Application> IsisProcess<A> {
             views_cache: BTreeMap::new(),
             joining: BTreeMap::new(),
             orphans: Vec::new(),
+            sent_ids: None,
+            tick_gids: Vec::new(),
         }
     }
 
@@ -288,12 +296,13 @@ impl<A: Application> IsisProcess<A> {
     ) -> Option<R> {
         let mut effects = Vec::new();
         let r = {
-            let Self { groups, cfg, .. } = self;
+            let Self { groups, cfg, sent_ids, .. } = self;
             groups.get_mut(&gid).map(|rt| {
                 let mut env = Env {
                     ctx,
                     cfg,
                     effects: &mut effects,
+                    sent: sent_ids,
                 };
                 f(rt, &mut env)
             })
@@ -439,13 +448,14 @@ impl<A: Application> IsisProcess<A> {
                 payload,
                 want_ack,
             } => {
-                let Self { groups, cfg, .. } = self;
+                let Self { groups, cfg, sent_ids, .. } = self;
                 match groups.get_mut(&gid) {
                     Some(rt) => {
                         let mut env = Env {
                             ctx,
                             cfg,
                             effects,
+                            sent: sent_ids,
                         };
                         if rt.cast(kind, payload, want_ack, &mut env).is_err() {
                             ctx.bump("isis.cast.refused");
@@ -455,8 +465,14 @@ impl<A: Application> IsisProcess<A> {
                 }
             }
             UpOp::Direct { to, payload } => {
-                ctx.bump("isis.sent.direct");
-                ctx.send(to, IsisMsg::Direct(payload));
+                let Self { cfg, sent_ids, .. } = self;
+                let mut env: Env<'_, '_, A> = Env {
+                    ctx,
+                    cfg,
+                    effects,
+                    sent: sent_ids,
+                };
+                env.send(to, IsisMsg::Direct(payload));
             }
             UpOp::CreateGroup { gid } => {
                 if let std::collections::btree_map::Entry::Vacant(e) = self.groups.entry(gid) {
@@ -480,12 +496,13 @@ impl<A: Application> IsisProcess<A> {
                 }
             }
             UpOp::Leave { gid } => {
-                let Self { groups, cfg, .. } = self;
+                let Self { groups, cfg, sent_ids, .. } = self;
                 if let Some(rt) = groups.get_mut(&gid) {
                     let mut env = Env {
                         ctx,
                         cfg,
                         effects,
+                        sent: sent_ids,
                     };
                     rt.request_leave(&mut env);
                 }
@@ -639,28 +656,35 @@ impl<A: Application> Process for IsisProcess<A> {
         }
         debug_assert_eq!(kind, TICK_KIND);
         ctx.set_timer(self.cfg.tick, TICK_KIND);
-        let gids = self.group_ids();
-        for gid in gids {
+        // Snapshot group ids into the reusable buffer (BTreeMap keys are
+        // already sorted); groups created mid-tick wait for the next one.
+        let mut gids = std::mem::take(&mut self.tick_gids);
+        gids.clear();
+        gids.extend(self.groups.keys().copied());
+        for &gid in &gids {
             self.with_group(gid, ctx, |rt, env| {
                 rt.maybe_heartbeat(env);
                 rt.tick_membership(env);
             });
         }
+        self.tick_gids = gids;
         // Join retries.
-        let now = ctx.now();
-        let retry = self.cfg.join_retry;
-        let due: Vec<(GroupId, Pid)> = self
-            .joining
-            .iter_mut()
-            .filter(|(_, js)| now.since(js.last_attempt) >= retry)
-            .map(|(gid, js)| {
-                js.last_attempt = now;
-                (*gid, js.contact)
-            })
-            .collect();
-        for (gid, contact) in due {
-            ctx.bump("isis.sent.join_req");
-            ctx.send(contact, IsisMsg::JoinReq { gid });
+        if !self.joining.is_empty() {
+            let now = ctx.now();
+            let retry = self.cfg.join_retry;
+            let due: Vec<(GroupId, Pid)> = self
+                .joining
+                .iter_mut()
+                .filter(|(_, js)| now.since(js.last_attempt) >= retry)
+                .map(|(gid, js)| {
+                    js.last_attempt = now;
+                    (*gid, js.contact)
+                })
+                .collect();
+            for (gid, contact) in due {
+                ctx.bump("isis.sent.join_req");
+                ctx.send(contact, IsisMsg::JoinReq { gid });
+            }
         }
     }
 

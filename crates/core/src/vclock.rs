@@ -5,17 +5,23 @@
 //! delivered everything the sender had delivered when it sent — the
 //! classical causal delivery condition of ISIS.
 
-use std::collections::BTreeMap;
-
 use now_sim::Pid;
 
 /// A vector timestamp: per-process count of causal broadcasts.
 ///
 /// Keyed by `Pid` (not by view rank) so timestamps remain meaningful while
 /// a view change is being agreed. Missing entries are zero.
+///
+/// Backed by a pid-sorted `Vec` rather than a tree: group views are small
+/// (a leaf, in the hierarchical design), clocks travel inside every cast
+/// and stability snapshot, and the dominant operations on the message path
+/// are clone / merge / compare — one memcpy and linear walks on a flat
+/// array, instead of per-node allocation and pointer chasing.
+/// Zero entries are never stored, so derived equality is structural.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct VClock {
-    entries: BTreeMap<Pid, u64>,
+    /// `(pid, count)` pairs, strictly sorted by pid, counts all non-zero.
+    entries: Vec<(Pid, u64)>,
 }
 
 /// The result of comparing two vector timestamps.
@@ -39,49 +45,129 @@ impl VClock {
 
     /// The count for process `p` (zero when absent).
     pub fn get(&self, p: Pid) -> u64 {
-        self.entries.get(&p).copied().unwrap_or(0)
+        match self.entries.binary_search_by_key(&p, |&(q, _)| q) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Sets the count for `p`. Zero entries are not stored.
     pub fn set(&mut self, p: Pid, v: u64) {
-        if v == 0 {
-            self.entries.remove(&p);
-        } else {
-            self.entries.insert(p, v);
+        match self.entries.binary_search_by_key(&p, |&(q, _)| q) {
+            Ok(i) => {
+                if v == 0 {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = v;
+                }
+            }
+            Err(i) => {
+                if v != 0 {
+                    self.entries.insert(i, (p, v));
+                }
+            }
         }
     }
 
     /// Increments the count for `p` and returns the new value.
     pub fn bump(&mut self, p: Pid) -> u64 {
-        let e = self.entries.entry(p).or_insert(0);
-        *e += 1;
-        *e
+        match self.entries.binary_search_by_key(&p, |&(q, _)| q) {
+            Ok(i) => {
+                self.entries[i].1 += 1;
+                self.entries[i].1
+            }
+            Err(i) => {
+                self.entries.insert(i, (p, 1));
+                1
+            }
+        }
     }
 
     /// Pointwise maximum with `other`.
     pub fn merge(&mut self, other: &VClock) {
-        for (&p, &v) in &other.entries {
-            let e = self.entries.entry(p).or_insert(0);
-            *e = (*e).max(v);
+        // Fast path: every key of `other` already present — max in place.
+        // (The common case on the stability path, where key sets stabilise
+        // after the first exchange in a view.)
+        let mut i = 0;
+        let mut extra = false;
+        for &(p, v) in &other.entries {
+            while i < self.entries.len() && self.entries[i].0 < p {
+                i += 1;
+            }
+            if i < self.entries.len() && self.entries[i].0 == p {
+                self.entries[i].1 = self.entries[i].1.max(v);
+            } else {
+                extra = true;
+            }
         }
+        if !extra {
+            return;
+        }
+        // Slow path: `other` has keys we lack — rebuild by two-pointer merge.
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, a[i].1.max(b[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.entries = out;
     }
 
     /// Compares two clocks under the pointwise partial order.
     pub fn compare(&self, other: &VClock) -> VOrd {
         let mut less = false;
         let mut greater = false;
-        let keys: std::collections::BTreeSet<Pid> = self
-            .entries
-            .keys()
-            .chain(other.entries.keys())
-            .copied()
-            .collect();
-        for p in keys {
-            let (a, b) = (self.get(p), other.get(p));
-            if a < b {
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            // A key present on one side only compares against zero.
+            let pa = a.get(i).map(|&(p, _)| p);
+            let pb = b.get(j).map(|&(p, _)| p);
+            let (va, vb) = match (pa, pb) {
+                (Some(p), Some(q)) if p == q => {
+                    let r = (a[i].1, b[j].1);
+                    i += 1;
+                    j += 1;
+                    r
+                }
+                (Some(p), Some(q)) if p < q => {
+                    i += 1;
+                    (a[i - 1].1, 0)
+                }
+                (Some(_), Some(_)) => {
+                    j += 1;
+                    (0, b[j - 1].1)
+                }
+                (Some(_), None) => {
+                    i += 1;
+                    (a[i - 1].1, 0)
+                }
+                (None, Some(_)) => {
+                    j += 1;
+                    (0, b[j - 1].1)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            if va < vb {
                 less = true;
             }
-            if a > b {
+            if va > vb {
                 greater = true;
             }
         }
@@ -97,7 +183,7 @@ impl VClock {
     /// sorting by `(sum, tiebreak)` is a valid linear extension of
     /// causality — used to order relayed messages during view changes.
     pub fn sum(&self) -> u64 {
-        self.entries.values().sum()
+        self.entries.iter().map(|&(_, v)| v).sum()
     }
 
     /// The causal delivery test: can a message stamped `msg_vt` from
@@ -113,7 +199,7 @@ impl VClock {
         msg_vt
             .entries
             .iter()
-            .all(|(&q, &v)| q == sender || v <= self.get(q))
+            .all(|&(q, v)| q == sender || v <= self.get(q))
     }
 
     /// Number of non-zero entries (for storage accounting).
@@ -128,7 +214,7 @@ impl VClock {
 
     /// Iterates `(pid, count)` pairs in pid order.
     pub fn iter(&self) -> impl Iterator<Item = (Pid, u64)> + '_ {
-        self.entries.iter().map(|(&p, &v)| (p, v))
+        self.entries.iter().copied()
     }
 
     /// Estimated storage bytes (for experiment E7).

@@ -25,6 +25,12 @@
 //!   in `core`/`hier` is reachable from a `#[test]`, bench, example or
 //!   binary: protocol code nothing exercises is dead weight that silently
 //!   rots.
+//! - **R5** — OS threads (`thread::scope`, `thread::spawn`) are permitted
+//!   only in `crates/bench` harness code: the deterministic parallel sweep
+//!   runner farms *whole independent simulations* across workers, but no
+//!   protocol or engine crate may ever touch a thread (inside one
+//!   simulation, concurrency is simulated, never real). Protocol crates are
+//!   covered by R2's thread ban; R5 closes the rest of the workspace.
 //!
 //! Escape hatch: a finding is suppressed by a comment on the same or the
 //! preceding line of the form `// detlint: allow(R1): <justification>`.
@@ -51,11 +57,13 @@ pub enum Rule {
     R3,
     /// Unreachable public state-mutating protocol function.
     R4,
+    /// OS-thread use outside the bench harness.
+    R5,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 4] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+    pub const ALL: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
 
     fn id(self) -> &'static str {
         match self {
@@ -63,6 +71,7 @@ impl Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
         }
     }
 }
@@ -137,10 +146,11 @@ fn in_scope(rel: &str, scope: &[&str]) -> bool {
 }
 
 /// Tokens that trigger R2, with the reason reported.
-const R2_BANNED: [(&str, &str); 7] = [
+const R2_BANNED: [(&str, &str); 8] = [
     ("SystemTime", "wall-clock read"),
     ("Instant", "wall-clock read"),
     ("thread::spawn", "OS thread"),
+    ("thread::scope", "OS thread"),
     ("thread_rng", "unseeded RNG"),
     ("from_entropy", "unseeded RNG"),
     ("OsRng", "unseeded RNG"),
@@ -263,6 +273,30 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                             message: format!(
                                 "`{tok}` ({why}) — simulated time / seeded det_rand are the only \
                                  admissible sources here"
+                            ),
+                        },
+                    );
+                }
+            }
+        }
+
+        // R5: OS threads only in the bench harness. Protocol crates are
+        // already under R2's thread ban; R5 covers everything else.
+        if !rel.starts_with("crates/bench/") && !in_scope(rel, &R2_SCOPE) {
+            for tok in ["thread::spawn", "thread::scope"] {
+                if line.code.contains(tok) {
+                    push_finding(
+                        &mut out,
+                        &lines,
+                        idx,
+                        Finding {
+                            file: rel.to_string(),
+                            line: lineno,
+                            rule: Rule::R5,
+                            message: format!(
+                                "`{tok}` outside the bench harness — OS threads are reserved \
+                                 for `crates/bench` sweep parallelism; protocol and app code \
+                                 must stay single-threaded and deterministic"
                             ),
                         },
                     );
@@ -585,6 +619,16 @@ impl RepState {
         assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
     }
 
+    #[test]
+    fn r2_flags_scoped_threads_in_protocol_crates() {
+        let src = "fn t() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        let f = lint_source("crates/sim/src/engine.rs", src);
+        assert!(
+            f.iter().any(|x| x.rule == Rule::R2),
+            "thread::scope in a protocol crate must be R2: {f:?}"
+        );
+    }
+
     // ----- R3 ---------------------------------------------------------
 
     #[test]
@@ -652,6 +696,39 @@ impl RepState {
             "impl P {\n  pub fn read_only(&self) {}\n  fn private_mut(&mut self) {}\n}\n",
         )];
         assert!(lint_files(&files).iter().all(|f| f.rule != Rule::R4));
+    }
+
+    // ----- R5 ---------------------------------------------------------
+
+    #[test]
+    fn r5_flags_threads_outside_bench() {
+        let src = "fn go() { std::thread::spawn(|| {}); }\n";
+        let f = lint_source("crates/apps/src/drivers.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::R5]);
+        let scoped = "fn go() { std::thread::scope(|s| {}); }\n";
+        let f = lint_source("tests/e2e.rs", scoped);
+        assert_eq!(rules_of(&f), vec![Rule::R5]);
+    }
+
+    #[test]
+    fn r5_permits_threads_in_bench_harness() {
+        let src = "pub fn par() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(lint_source("crates/bench/src/par_sweep.rs", src).is_empty());
+        assert!(lint_source("crates/bench/tests/par.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_does_not_double_report_protocol_crates() {
+        // Protocol crates are R2's territory: exactly one finding, not two.
+        let src = "fn t() { std::thread::spawn(|| {}); }\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::R2]);
+    }
+
+    #[test]
+    fn r5_allow_with_justification_suppresses() {
+        let src = "// detlint: allow(R5): spawns a watchdog outside any simulation\nfn go() { std::thread::spawn(|| {}); }\n";
+        assert!(lint_source("crates/apps/src/x.rs", src).is_empty());
     }
 
     // ----- plumbing ---------------------------------------------------

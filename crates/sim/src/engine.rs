@@ -6,9 +6,15 @@
 //! deterministic: two runs with the same seed and the same sequence of
 //! harness calls produce byte-identical statistics. Determinism is what lets
 //! the experiment harness make exact claims about message counts.
+//!
+//! The hot paths — `route`, `step`, counter bumps — are allocation-free:
+//! counters are interned ids, the per-callback action buffer is reused
+//! across invocations, multicast shares one payload `Rc` across all
+//! destinations, and the FIFO channel clock is a flat dense table.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet};
+use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 use now_trace::{EventKind as TraceKind, Tracer};
 
@@ -16,7 +22,7 @@ use crate::det_rand::DetRng;
 
 use crate::ids::{NodeId, Pid, SiteId, TimerId};
 use crate::net::{NetConfig, Partition};
-use crate::stats::{Observation, ObservationLog, Stats};
+use crate::stats::{CounterId, Observation, ObservationLog, SeriesId, Stats};
 use crate::time::{SimDuration, SimTime};
 
 /// Behaviour of a simulated process.
@@ -49,6 +55,8 @@ pub trait Process: 'static {
 ///
 /// Effects are buffered and applied by the engine after the callback
 /// returns, so a callback observes a consistent snapshot of the world.
+/// The action buffer is owned by the engine and reused across callbacks,
+/// so buffering an effect does not allocate in steady state.
 pub struct Ctx<'a, M> {
     now: SimTime,
     me: Pid,
@@ -56,7 +64,7 @@ pub struct Ctx<'a, M> {
     stats: &'a mut Stats,
     obs: &'a mut ObservationLog,
     next_timer: &'a mut u64,
-    actions: Vec<Action<M>>,
+    actions: &'a mut Vec<Action<M>>,
     tracer: Option<&'a mut Tracer>,
     /// Trace seq of the event (delivery, timer) that triggered this
     /// callback; threaded as the `cause` of everything it records.
@@ -65,6 +73,9 @@ pub struct Ctx<'a, M> {
 
 enum Action<M> {
     Send { to: Pid, msg: M },
+    /// One payload, many destinations: the engine shares the message via a
+    /// single `Rc` instead of deep-cloning it per destination.
+    Multicast { dsts: Vec<Pid>, msg: M },
     SetTimer { id: TimerId, kind: u32, at: SimTime },
     CancelTimer(TimerId),
     Halt,
@@ -89,13 +100,15 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Sends `msg` to every pid in `dsts` (a convenience multicast; each
     /// destination counts as one message, exactly as the paper counts them).
-    pub fn multicast(&mut self, dsts: impl IntoIterator<Item = Pid>, msg: M)
-    where
-        M: Clone,
-    {
-        for d in dsts {
-            self.send(d, msg.clone());
+    /// The payload is shared across destinations rather than cloned per
+    /// destination; a receiver only pays a clone when it is not the last
+    /// holder of the shared envelope.
+    pub fn multicast(&mut self, dsts: impl IntoIterator<Item = Pid>, msg: M) {
+        let dsts: Vec<Pid> = dsts.into_iter().collect();
+        if dsts.is_empty() {
+            return;
         }
+        self.actions.push(Action::Multicast { dsts, msg });
     }
 
     /// Arms a timer that fires after `delay` with the caller-chosen `kind`
@@ -128,28 +141,58 @@ impl<'a, M> Ctx<'a, M> {
         self.rng
     }
 
-    /// Emits a labelled observation for the harness.
-    pub fn observe(&mut self, label: &str, value: f64) {
+    /// Emits a labelled observation for the harness. Labels are static so
+    /// emission never allocates.
+    pub fn observe(&mut self, label: &'static str, value: f64) {
         self.obs.push(Observation {
             at: self.now,
             by: self.me,
-            label: label.to_owned(),
+            label,
             value,
         });
     }
 
-    /// Adds one to a named global counter.
-    pub fn bump(&mut self, name: &str) {
+    /// Registers (or looks up) a named counter, returning a dense handle.
+    /// Hot paths resolve the id once and bump through [`Ctx::bump_id`].
+    pub fn counter_id(&mut self, name: &'static str) -> CounterId {
+        self.stats.counter_id(name)
+    }
+
+    /// Registers (or looks up) a named series, returning a dense handle.
+    pub fn series_id(&mut self, name: &'static str) -> SeriesId {
+        self.stats.series_id(name)
+    }
+
+    /// Adds one to an interned counter — a single array index.
+    #[inline]
+    pub fn bump_id(&mut self, id: CounterId) {
+        self.stats.bump_id(id);
+    }
+
+    /// Adds `n` to an interned counter — a single array index.
+    #[inline]
+    pub fn bump_id_by(&mut self, id: CounterId, n: u64) {
+        self.stats.bump_id_by(id, n);
+    }
+
+    /// Records a sample in an interned series — a single array index.
+    #[inline]
+    pub fn sample_id(&mut self, id: SeriesId, v: f64) {
+        self.stats.sample_id(id, v);
+    }
+
+    /// Adds one to a named global counter (interned on first use).
+    pub fn bump(&mut self, name: &'static str) {
         self.stats.bump(name);
     }
 
-    /// Records a sample in a named global series.
-    pub fn sample(&mut self, name: &str, v: f64) {
+    /// Records a sample in a named global series (interned on first use).
+    pub fn sample(&mut self, name: &'static str, v: f64) {
         self.stats.sample(name, v);
     }
 
     /// Records a duration sample (milliseconds) in a named global series.
-    pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
+    pub fn sample_duration(&mut self, name: &'static str, d: SimDuration) {
         self.stats.sample_duration(name, d);
     }
 
@@ -171,34 +214,61 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
-enum Event<M> {
+/// A delivery payload: either an owned message or a multicast envelope
+/// shared between all destinations of one `multicast` call.
+enum Payload<M> {
+    One(M),
+    Shared(Rc<M>),
+}
+
+impl<M: Clone> Payload<M> {
+    /// Takes the message out, cloning only when other deliveries still hold
+    /// the shared envelope (the last consumer — and every dropped copy —
+    /// pays nothing).
+    fn into_msg(self) -> M {
+        match self {
+            Payload::One(m) => m,
+            Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+        }
+    }
+}
+
+enum Event {
     Start(Pid),
     /// `wire` is the trace seq of the matching `NetSend` event (0 when the
     /// tracer was off at send time); it links the delivery back to its send.
-    Deliver { to: Pid, from: Pid, msg: M, wire: u64 },
+    /// `payload` indexes the payload slab (`Sim::payloads`): keeping the
+    /// message out of line keeps queue entries small, so heap sifts move a
+    /// few words instead of a whole message.
+    Deliver {
+        to: Pid,
+        from: Pid,
+        payload: u32,
+        wire: u64,
+    },
     Timer { pid: Pid, id: TimerId, kind: u32 },
     Crash(Pid),
     SetPartition(Partition),
 }
 
-struct Entry<M> {
+struct Entry {
     at: SimTime,
     seq: u64,
-    ev: Event<M>,
+    ev: Event,
 }
 
-impl<M> PartialEq for Entry<M> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Entry<M> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
@@ -244,18 +314,34 @@ pub struct Sim<P: Process> {
     cfg: SimConfig,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Entry<P::Msg>>>,
+    queue: BinaryHeap<Reverse<Entry>>,
+    /// Pending delivery payloads, indexed by `Event::Deliver::payload`. A
+    /// free-list slab: slots are recycled, so steady-state traffic allocates
+    /// nothing and the queue entries stay a few words wide no matter how big
+    /// `P::Msg` is.
+    payloads: Vec<Option<Payload<P::Msg>>>,
+    free_payloads: Vec<u32>,
     procs: Vec<Option<Slot<P>>>,
     node_sites: Vec<SiteId>,
     partition: Partition,
     rng: DetRng,
     stats: Stats,
     obs: ObservationLog,
-    cancelled: BTreeSet<TimerId>,
+    /// Timers that are armed and not yet fired or cancelled. Every entry has
+    /// exactly one matching `Event::Timer` in the queue, which removes it
+    /// when it pops — so the set is bounded by the pending-timer count and
+    /// empty at quiescence (no leak, unlike the old cancelled-id set).
+    /// An id-sorted vec: ids are allocated monotonically, so arming is a
+    /// push at the tail and lookups are a binary search over a few entries.
+    armed: Vec<(TimerId, SimTime)>,
     next_timer: u64,
     /// Per ordered (src, dst) pair: latest scheduled arrival, used to keep
-    /// channels FIFO when `NetConfig::fifo` is set.
-    channel_clock: std::collections::BTreeMap<(Pid, Pid), SimTime>,
+    /// channels FIFO when `NetConfig::fifo` is set. A flat dense table
+    /// indexed `[src][dst]` (grown on demand; `SimTime::ZERO` = no pending
+    /// constraint) — pid-pair keyed tree walks were a route() hot spot.
+    channel_clock: Vec<Vec<SimTime>>,
+    /// Reusable action buffer handed to each callback via `Ctx`.
+    scratch_actions: Vec<Action<P::Msg>>,
     /// Optional causal tracer. `None` (the default unless `NOW_MONITORS` /
     /// `NOW_TRACE` is set) means tracing is off and the run is byte-identical
     /// to one without the tracing layer: recording never touches the RNG,
@@ -278,9 +364,12 @@ impl<P: Process> Sim<P> {
             rng,
             stats: Stats::default(),
             obs: ObservationLog::default(),
-            cancelled: BTreeSet::new(),
+            payloads: Vec::new(),
+            free_payloads: Vec::new(),
+            armed: Vec::new(),
             next_timer: 0,
-            channel_clock: std::collections::BTreeMap::new(),
+            channel_clock: Vec::new(),
+            scratch_actions: Vec::new(),
             tracer: Tracer::from_env(),
         }
     }
@@ -350,10 +439,35 @@ impl<P: Process> Sim<P> {
         pid
     }
 
-    fn push(&mut self, at: SimTime, ev: Event<P::Msg>) {
+    fn push(&mut self, at: SimTime, ev: Event) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Parks a delivery payload in the slab, reusing a free slot when one
+    /// exists, and returns its index.
+    fn store_payload(&mut self, payload: Payload<P::Msg>) -> u32 {
+        match self.free_payloads.pop() {
+            Some(i) => {
+                self.payloads[i as usize] = Some(payload);
+                i
+            }
+            None => {
+                let i = self.payloads.len() as u32;
+                self.payloads.push(Some(payload));
+                i
+            }
+        }
+    }
+
+    /// Removes and returns the payload at `slot`, recycling the slot.
+    fn take_payload(&mut self, slot: u32) -> Payload<P::Msg> {
+        let p = self.payloads[slot as usize]
+            .take()
+            .expect("payload slot taken twice");
+        self.free_payloads.push(slot);
+        p
     }
 
     /// Current simulated time.
@@ -439,15 +553,53 @@ impl<P: Process> Sim<P> {
         &mut self.rng
     }
 
-    /// Crashes `pid` immediately: it stops executing and every in-flight
-    /// message or timer addressed to it is silently discarded.
-    pub fn crash(&mut self, pid: Pid) {
+    /// Marks `pid` dead and forgets its FIFO channel state.
+    fn kill(&mut self, pid: Pid) -> bool {
         let mut was_alive = false;
         if let Some(s) = self.procs[pid.0 as usize].as_mut() {
             was_alive = s.alive;
             s.alive = false;
         }
-        if was_alive && self.tracer.is_some() {
+        if was_alive {
+            self.purge_channels(pid);
+        }
+        was_alive
+    }
+
+    /// Drops FIFO clock entries touching `pid` so long churn runs don't
+    /// accumulate dead channels. Safe because a dead process never sends
+    /// again and anything addressed to it is dropped at delivery time.
+    fn purge_channels(&mut self, pid: Pid) {
+        let i = pid.0 as usize;
+        if let Some(row) = self.channel_clock.get_mut(i) {
+            *row = Vec::new();
+        }
+        for row in &mut self.channel_clock {
+            if let Some(c) = row.get_mut(i) {
+                *c = SimTime::ZERO;
+            }
+        }
+    }
+
+    /// Number of live FIFO channel-clock entries (test/diagnostic hook).
+    pub fn live_channel_entries(&self) -> usize {
+        self.channel_clock
+            .iter()
+            .map(|row| row.iter().filter(|c| **c != SimTime::ZERO).count())
+            .sum()
+    }
+
+    /// Number of timers currently armed (set, not yet fired or cancelled).
+    /// Zero after quiescence — the regression guard for the old leak where
+    /// cancelled ids of already-fired timers accumulated forever.
+    pub fn armed_timers(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Crashes `pid` immediately: it stops executing and every in-flight
+    /// message or timer addressed to it is silently discarded.
+    pub fn crash(&mut self, pid: Pid) {
+        if self.kill(pid) && self.tracer.is_some() {
             self.trace(pid, None, TraceKind::Crash);
         }
     }
@@ -463,8 +615,9 @@ impl<P: Process> Sim<P> {
                 }
             }
         }
-        if self.tracer.is_some() {
-            for pid in died {
+        for pid in died {
+            self.purge_channels(pid);
+            if self.tracer.is_some() {
                 self.trace(pid, None, TraceKind::Crash);
             }
         }
@@ -516,40 +669,66 @@ impl<P: Process> Sim<P> {
         if !self.is_alive(pid) {
             return None;
         }
-        let mut slot = self.procs[pid.0 as usize].take().expect("unknown pid");
-        let mut ctx = Ctx {
-            now: self.now,
-            me: pid,
-            rng: &mut self.rng,
-            stats: &mut self.stats,
-            obs: &mut self.obs,
-            next_timer: &mut self.next_timer,
-            actions: Vec::new(),
-            tracer: self.tracer.as_mut(),
-            cause,
+        // Reuse the engine-owned action buffer: callbacks are never nested
+        // (apply_actions cannot re-enter invoke), so taking it is safe and
+        // steady-state invocations allocate nothing.
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        let r = {
+            // Split borrows: the process slot stays in place (no move out and
+            // back) while `Ctx` borrows the disjoint engine fields.
+            let Sim { procs, rng, stats, obs, next_timer, tracer, now, .. } = self;
+            let slot = procs[pid.0 as usize].as_mut().expect("unknown pid");
+            let mut ctx = Ctx {
+                now: *now,
+                me: pid,
+                rng,
+                stats,
+                obs,
+                next_timer,
+                actions: &mut actions,
+                tracer: tracer.as_mut(),
+                cause,
+            };
+            f(&mut slot.proc, &mut ctx)
         };
-        let r = f(&mut slot.proc, &mut ctx);
-        let actions = ctx.actions;
-        self.procs[pid.0 as usize] = Some(slot);
-        self.apply_actions(pid, actions, cause);
+        self.apply_actions(pid, &mut actions, cause);
+        actions.clear();
+        self.scratch_actions = actions;
         Some(r)
     }
 
-    fn apply_actions(&mut self, from: Pid, actions: Vec<Action<P::Msg>>, cause: Option<u64>) {
-        for a in actions {
+    fn apply_actions(&mut self, from: Pid, actions: &mut Vec<Action<P::Msg>>, cause: Option<u64>) {
+        for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => self.route(from, to, msg, cause),
+                Action::Multicast { dsts, msg } => {
+                    // Size once, share the payload; each destination still
+                    // counts as one message, exactly as before.
+                    let bytes = P::wire_size(&msg);
+                    let shared = Rc::new(msg);
+                    for to in dsts {
+                        self.route_payload(
+                            from,
+                            to,
+                            Payload::Shared(Rc::clone(&shared)),
+                            bytes,
+                            cause,
+                        );
+                    }
+                }
                 Action::SetTimer { id, kind, at } => {
+                    // Ids are handed out monotonically, so this is a push.
+                    debug_assert!(self.armed.last().is_none_or(|&(last, _)| last < id));
+                    self.armed.push((id, at));
                     self.push(at, Event::Timer { pid: from, id, kind });
                 }
                 Action::CancelTimer(id) => {
-                    self.cancelled.insert(id);
+                    if let Ok(i) = self.armed.binary_search_by_key(&id, |&(t, _)| t) {
+                        self.armed.remove(i);
+                    }
                 }
                 Action::Halt => {
-                    if let Some(s) = self.procs[from.0 as usize].as_mut() {
-                        s.alive = false;
-                    }
-                    if self.tracer.is_some() {
+                    if self.kill(from) && self.tracer.is_some() {
                         self.trace(from, cause, TraceKind::Halt);
                     }
                 }
@@ -559,6 +738,17 @@ impl<P: Process> Sim<P> {
 
     fn route(&mut self, from: Pid, to: Pid, msg: P::Msg, cause: Option<u64>) {
         let bytes = P::wire_size(&msg);
+        self.route_payload(from, to, Payload::One(msg), bytes, cause);
+    }
+
+    fn route_payload(
+        &mut self,
+        from: Pid,
+        to: Pid,
+        payload: Payload<P::Msg>,
+        bytes: usize,
+        cause: Option<u64>,
+    ) {
         self.stats.record_send(from, to, bytes);
         // The NetSend's seq *is* the wire id carried by the delivery/drop.
         let wire = match self.tracer.is_some() {
@@ -574,36 +764,49 @@ impl<P: Process> Sim<P> {
             return;
         }
         let (src_node, dst_node) = (self.slot(from).node, self.slot(to).node);
+        // Borrow the link model in place (no per-message clone); the drop
+        // decision and latency draw complete before any &mut self call.
         let latency = if from == to || src_node == dst_node {
-            self.cfg.net.loopback
+            Some(self.cfg.net.loopback)
         } else {
-            let same_site = self.site_of(src_node) == self.site_of(dst_node);
+            let same_site =
+                self.node_sites[src_node.0 as usize] == self.node_sites[dst_node.0 as usize];
             let model = if same_site {
-                self.cfg.net.local.clone()
+                &self.cfg.net.local
             } else {
-                self.cfg.net.long_distance.clone()
+                &self.cfg.net.long_distance
             };
             if model.sample_drop(&mut self.rng) {
-                self.stats.record_drop(to);
-                if wire > 0 {
-                    self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
-                }
-                return;
+                None
+            } else {
+                Some(model.sample_latency(bytes, &mut self.rng))
             }
-            model.sample_latency(bytes, &mut self.rng)
+        };
+        let Some(latency) = latency else {
+            self.stats.record_drop(to);
+            if wire > 0 {
+                self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
+            }
+            return;
         };
         let mut arrival = self.now + latency;
         if self.cfg.net.fifo {
-            let clock = self
-                .channel_clock
-                .entry((from, to))
-                .or_insert(SimTime::ZERO);
+            let (fi, ti) = (from.0 as usize, to.0 as usize);
+            if self.channel_clock.len() <= fi {
+                self.channel_clock.resize_with(fi + 1, Vec::new);
+            }
+            let row = &mut self.channel_clock[fi];
+            if row.len() <= ti {
+                row.resize(ti + 1, SimTime::ZERO);
+            }
+            let clock = &mut row[ti];
             if arrival <= *clock {
                 arrival = *clock + SimDuration::from_micros(1);
             }
             *clock = arrival;
         }
-        self.push(arrival, Event::Deliver { to, from, msg, wire });
+        let payload = self.store_payload(payload);
+        self.push(arrival, Event::Deliver { to, from, payload, wire });
     }
 
     /// Executes the next pending event. Returns `false` when the queue is
@@ -621,7 +824,8 @@ impl<P: Process> Sim<P> {
                         self.invoke(pid, |p, ctx| p.on_start(ctx));
                     }
                 }
-                Event::Deliver { to, from, msg, wire } => {
+                Event::Deliver { to, from, payload, wire } => {
+                    let payload = self.take_payload(payload);
                     let link = (wire > 0).then_some(wire);
                     if !self.is_alive(to) {
                         self.stats.record_drop(to);
@@ -658,11 +862,17 @@ impl<P: Process> Sim<P> {
                         )),
                         false => None,
                     };
-                    self.invoke_caused(to, cause, |p, ctx| p.on_message(from, msg, ctx));
+                    self.invoke_caused(to, cause, |p, ctx| p.on_message(from, payload.into_msg(), ctx));
                 }
                 Event::Timer { pid, id, kind } => {
-                    if self.cancelled.remove(&id) {
-                        continue;
+                    // A fired timer leaves `armed` immediately, whether or
+                    // not its owner still runs; cancelled or stale ids are
+                    // simply absent.
+                    match self.armed.binary_search_by_key(&id, |&(t, _)| t) {
+                        Ok(i) => {
+                            self.armed.remove(i);
+                        }
+                        Err(_) => continue,
                     }
                     if self.is_alive(pid) {
                         let cause = match self.tracer.is_some() {
@@ -731,12 +941,13 @@ impl<P: Process> Sim<P> {
             ),
             false => 0,
         };
+        let payload = self.store_payload(Payload::One(msg));
         self.push(
             self.now + self.cfg.net.loopback,
             Event::Deliver {
                 to,
                 from: Pid::EXTERNAL,
-                msg,
+                payload,
                 wire,
             },
         );
@@ -837,6 +1048,57 @@ mod tests {
     }
 
     #[test]
+    fn armed_timer_set_is_empty_after_quiescence() {
+        // Regression: the old `cancelled: BTreeSet<TimerId>` kept ids of
+        // timers cancelled after firing (or belonging to crashed procs)
+        // forever. The armed map must drain completely.
+        let (mut sim, a, b) = two_procs();
+        let fired = sim
+            .invoke(a, |_, ctx| ctx.set_timer(SimDuration::from_micros(10), 1))
+            .unwrap();
+        sim.run_to_quiescence(SimTime(1_000_000));
+        // Cancelling an already-fired timer must not resurrect any state.
+        sim.invoke(a, |_, ctx| ctx.cancel_timer(fired));
+        // A timer on a process that crashes before the deadline still leaves
+        // the map when its queue entry pops.
+        sim.invoke(b, |_, ctx| ctx.set_timer(SimDuration::from_millis(1), 2));
+        sim.crash(b);
+        assert_eq!(sim.armed_timers(), 1);
+        sim.run_to_quiescence(SimTime(10_000_000));
+        assert_eq!(sim.armed_timers(), 0, "armed timer map must drain");
+        // And a cancel-before-fire round trip also leaves nothing behind.
+        let t = sim
+            .invoke(a, |_, ctx| ctx.set_timer(SimDuration::from_millis(5), 3))
+            .unwrap();
+        sim.invoke(a, |_, ctx| ctx.cancel_timer(t));
+        assert_eq!(sim.armed_timers(), 0);
+        sim.run_to_quiescence(SimTime(20_000_000));
+        assert_eq!(sim.armed_timers(), 0);
+        assert_eq!(sim.process(a).timer_fired, vec![1]);
+    }
+
+    #[test]
+    fn channel_clock_is_pruned_for_dead_processes() {
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::lan(13));
+        let nodes = sim.add_nodes(3);
+        let a = sim.spawn(nodes[0], Echo::default());
+        let b = sim.spawn(nodes[1], Echo::default());
+        let c = sim.spawn(nodes[2], Echo::default());
+        sim.invoke(a, |_, ctx| {
+            ctx.send(b, "x".into());
+            ctx.send(c, "x".into());
+        });
+        sim.invoke(b, |_, ctx| ctx.send(a, "x".into()));
+        assert!(sim.live_channel_entries() >= 3);
+        sim.crash(b);
+        // Every entry with b as source or destination is gone; a→c remains.
+        assert_eq!(sim.live_channel_entries(), 1);
+        // Halting a sender also clears its row.
+        sim.invoke(a, |_, ctx| ctx.halt());
+        assert_eq!(sim.live_channel_entries(), 0);
+    }
+
+    #[test]
     fn partition_blocks_delivery_and_heals() {
         let (mut sim, a, b) = two_procs();
         sim.set_partition(Partition::split([sim.node_of(b)]));
@@ -877,6 +1139,26 @@ mod tests {
         for p in &pids[1..] {
             assert_eq!(sim.process(*p).got.len(), 1);
         }
+    }
+
+    #[test]
+    fn multicast_shared_payload_reaches_every_destination_intact() {
+        // The shared-envelope fast path must hand every receiver the full
+        // message, including when some deliveries are dropped (dead dest).
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::lan(17));
+        let nodes = sim.add_nodes(4);
+        let pids: Vec<Pid> = nodes
+            .iter()
+            .map(|n| sim.spawn(*n, Echo::default()))
+            .collect();
+        sim.crash(pids[2]);
+        let dsts = vec![pids[1], pids[2], pids[3]];
+        sim.invoke(pids[0], |_, ctx| ctx.multicast(dsts, "payload".into()));
+        sim.run_to_quiescence(SimTime(10_000_000));
+        assert_eq!(sim.process(pids[1]).got, vec![(pids[0], "payload".to_string())]);
+        assert_eq!(sim.process(pids[3]).got, vec![(pids[0], "payload".to_string())]);
+        assert_eq!(sim.stats().messages_sent, 3);
+        assert_eq!(sim.stats().messages_dropped, 1);
     }
 
     #[test]
@@ -981,6 +1263,28 @@ mod tests {
         let got: Vec<String> = sim.process(b).got.iter().map(|(_, m)| m.clone()).collect();
         let want: Vec<String> = (0..50).map(|i| format!("{i}")).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fifo_holds_within_a_multicast_burst() {
+        // Repeated multicasts to the same destinations must stay ordered
+        // per channel even though payloads ride a shared envelope.
+        let mut sim: Sim<Echo> = Sim::new(SimConfig::lan(19));
+        let nodes = sim.add_nodes(3);
+        let a = sim.spawn(nodes[0], Echo::default());
+        let b = sim.spawn(nodes[1], Echo::default());
+        let c = sim.spawn(nodes[2], Echo::default());
+        sim.invoke(a, |_, ctx| {
+            for i in 0..20 {
+                ctx.multicast([b, c], format!("{i}"));
+            }
+        });
+        sim.run_to_quiescence(SimTime(60_000_000));
+        let want: Vec<String> = (0..20).map(|i| format!("{i}")).collect();
+        for p in [b, c] {
+            let got: Vec<String> = sim.process(p).got.iter().map(|(_, m)| m.clone()).collect();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub use det_rand::{DetRng, Rng};
 pub use engine::{Ctx, Process, Sim, SimConfig};
 pub use ids::{NodeId, Pid, SiteId, TimerId};
 pub use net::{LinkModel, NetConfig, Partition};
-pub use stats::{ObservationLog, Series, Stats};
+pub use stats::{CounterId, ObservationLog, Series, SeriesId, Stats};
 pub use time::{SimDuration, SimTime};

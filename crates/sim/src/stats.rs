@@ -4,11 +4,30 @@
 //! message counts, destination counts, state sizes, or latencies. Those are
 //! collected *here*, centrally, so protocol code needs no instrumentation
 //! beyond optional named counters and latency samples.
+//!
+//! Named counters and series are **interned**: the first `bump`/`sample`
+//! of a name registers it and assigns a dense [`CounterId`]/[`SeriesId`];
+//! every subsequent hit is an array index. Hot protocol paths can resolve
+//! the id once (via [`Stats::counter_id`] / [`Stats::series_id`]) and bump
+//! through the handle, which costs neither an allocation nor a tree walk.
+//! The name→id table is consulted only at registration and report time.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ids::Pid;
 use crate::time::{SimDuration, SimTime};
+
+/// Dense handle for a named counter, assigned at first registration.
+///
+/// Ids are deterministic for a fixed registration order (which, in a
+/// deterministic simulation, is itself fixed by the seed and harness
+/// script); reports are keyed by *name*, so ids never leak into output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CounterId(u32);
+
+/// Dense handle for a named sample series. See [`CounterId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesId(u32);
 
 /// Per-process message counters.
 #[derive(Clone, Debug, Default)]
@@ -116,10 +135,18 @@ pub struct Stats {
     /// Distinct destinations each process has contacted. Enabled on demand
     /// because it costs a hash-set per process.
     fanout_tracking: Option<Vec<BTreeSet<Pid>>>,
-    /// Named event counters (e.g. `"view_changes"`).
-    counters: BTreeMap<String, u64>,
-    /// Named sample series (e.g. `"request_latency_ms"`).
-    series: BTreeMap<String, Series>,
+    /// Name→id registration table for counters (registration/report only).
+    counter_index: BTreeMap<&'static str, u32>,
+    /// Counter names, indexed by `CounterId`.
+    counter_names: Vec<&'static str>,
+    /// Counter values, indexed by `CounterId` — the hot-path store.
+    counter_slots: Vec<u64>,
+    /// Name→id registration table for series (registration/report only).
+    series_index: BTreeMap<&'static str, u32>,
+    /// Series names, indexed by `SeriesId`.
+    series_names: Vec<&'static str>,
+    /// Series values, indexed by `SeriesId` — the hot-path store.
+    series_slots: Vec<Series>,
 }
 
 impl Stats {
@@ -201,42 +228,101 @@ impl Stats {
         f.iter().map(BTreeSet::len).max().unwrap_or(0)
     }
 
-    /// Adds `n` to the named counter.
-    pub fn bump_by(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    /// Registers (or looks up) the named counter, returning its dense id.
+    /// Resolve once, bump through [`Stats::bump_id`] forever after.
+    pub fn counter_id(&mut self, name: &'static str) -> CounterId {
+        if let Some(&id) = self.counter_index.get(name) {
+            return CounterId(id);
+        }
+        let id = self.counter_slots.len() as u32;
+        self.counter_index.insert(name, id);
+        self.counter_names.push(name);
+        self.counter_slots.push(0);
+        CounterId(id)
+    }
+
+    /// Registers (or looks up) the named series, returning its dense id.
+    pub fn series_id(&mut self, name: &'static str) -> SeriesId {
+        if let Some(&id) = self.series_index.get(name) {
+            return SeriesId(id);
+        }
+        let id = self.series_slots.len() as u32;
+        self.series_index.insert(name, id);
+        self.series_names.push(name);
+        self.series_slots.push(Series::default());
+        SeriesId(id)
+    }
+
+    /// Adds `n` to an interned counter — a single array index.
+    #[inline]
+    pub fn bump_id_by(&mut self, id: CounterId, n: u64) {
+        self.counter_slots[id.0 as usize] += n;
+    }
+
+    /// Adds 1 to an interned counter — a single array index.
+    #[inline]
+    pub fn bump_id(&mut self, id: CounterId) {
+        self.bump_id_by(id, 1);
+    }
+
+    /// Records one sample in an interned series — a single array index.
+    #[inline]
+    pub fn sample_id(&mut self, id: SeriesId, v: f64) {
+        self.series_slots[id.0 as usize].push(v);
+    }
+
+    /// Adds `n` to the named counter (registering it on first use). No
+    /// allocation; cold paths may prefer this over carrying a handle.
+    pub fn bump_by(&mut self, name: &'static str, n: u64) {
+        let id = self.counter_id(name);
+        self.bump_id_by(id, n);
     }
 
     /// Adds 1 to the named counter.
-    pub fn bump(&mut self, name: &str) {
+    pub fn bump(&mut self, name: &'static str) {
         self.bump_by(name, 1);
     }
 
     /// Reads a named counter (0 when never bumped).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_index
+            .get(name)
+            .map_or(0, |&id| self.counter_slots[id as usize])
     }
 
-    /// All named counters, sorted by name.
-    pub fn counters(&self) -> &BTreeMap<String, u64> {
-        &self.counters
+    /// Reads an interned counter.
+    pub fn counter_by_id(&self, id: CounterId) -> u64 {
+        self.counter_slots[id.0 as usize]
     }
 
-    /// Records one sample in the named series.
-    pub fn sample(&mut self, name: &str, v: f64) {
-        self.series.entry(name.to_owned()).or_default().push(v);
+    /// All named counters, sorted by name (built at report time).
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.counter_index
+            .iter()
+            .map(|(&name, &id)| (name.to_owned(), self.counter_slots[id as usize]))
+            .collect()
+    }
+
+    /// Records one sample in the named series (registering on first use).
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        let id = self.series_id(name);
+        self.sample_id(id, v);
     }
 
     /// Records a duration sample in milliseconds.
-    pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
+    pub fn sample_duration(&mut self, name: &'static str, d: SimDuration) {
         self.sample(name, d.as_millis_f64());
     }
 
     /// Reads a named series (empty when never sampled).
     pub fn series(&self, name: &str) -> Series {
-        self.series.get(name).cloned().unwrap_or_default()
+        self.series_index
+            .get(name)
+            .map_or_else(Series::default, |&id| self.series_slots[id as usize].clone())
     }
 
-    /// Resets message counters and series but keeps process table sizing.
+    /// Resets message counters and series but keeps process table sizing
+    /// (and counter/series registrations — cleared slots read as zero).
     ///
     /// Used by experiments that let the system reach steady state, then
     /// measure a window.
@@ -253,8 +339,12 @@ impl Stats {
                 s.clear();
             }
         }
-        self.counters.clear();
-        self.series.clear();
+        for c in &mut self.counter_slots {
+            *c = 0;
+        }
+        for s in &mut self.series_slots {
+            *s = Series::default();
+        }
     }
 
     /// Sum of messages sent by every process in `pids`.
@@ -276,8 +366,8 @@ pub struct Observation {
     pub at: SimTime,
     /// The emitting process.
     pub by: Pid,
-    /// Free-form label, e.g. `"delivered"`.
-    pub label: String,
+    /// Static label, e.g. `"delivered"` (static so emission never allocates).
+    pub label: &'static str,
     /// Numeric payload (meaning depends on the label).
     pub value: f64,
 }
@@ -431,16 +521,50 @@ mod tests {
     }
 
     #[test]
+    fn interned_ids_alias_the_named_stores() {
+        let mut st = Stats::default();
+        let c = st.counter_id("hits");
+        let s = st.series_id("lat");
+        st.bump_id(c);
+        st.bump("hits");
+        st.bump_id_by(c, 3);
+        st.sample_id(s, 2.0);
+        st.sample("lat", 4.0);
+        assert_eq!(st.counter("hits"), 5);
+        assert_eq!(st.counter_by_id(c), 5);
+        assert_eq!(st.series("lat").mean(), 3.0);
+        // Re-registering the same name yields the same id.
+        assert_eq!(st.counter_id("hits"), c);
+        assert_eq!(st.series_id("lat"), s);
+    }
+
+    #[test]
+    fn counters_report_is_sorted_by_name() {
+        let mut st = Stats::default();
+        st.bump("zz");
+        st.bump("aa");
+        st.bump("mm");
+        let names: Vec<String> = st.counters().into_keys().collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
     fn reset_window_clears_counts() {
         let mut st = Stats::default();
         st.enable_fanout_tracking();
+        let c = st.counter_id("x");
         st.record_send(Pid(0), Pid(1), 10);
         st.bump("x");
+        st.sample("s", 1.0);
         st.reset_window();
         assert_eq!(st.messages_sent, 0);
         assert_eq!(st.proc(Pid(0)).sent, 0);
         assert_eq!(st.counter("x"), 0);
+        assert_eq!(st.series("s").len(), 0);
         assert_eq!(st.distinct_destinations(Pid(0)), 0);
+        // Registrations survive the reset: the handle still works.
+        st.bump_id(c);
+        assert_eq!(st.counter("x"), 1);
     }
 
     #[test]
@@ -449,13 +573,13 @@ mod tests {
         log.push(Observation {
             at: SimTime(1),
             by: Pid(0),
-            label: "a".into(),
+            label: "a",
             value: 1.0,
         });
         log.push(Observation {
             at: SimTime(2),
             by: Pid(1),
-            label: "b".into(),
+            label: "b",
             value: 2.0,
         });
         assert_eq!(log.count("a"), 1);
