@@ -7,10 +7,14 @@
 #   3. monitor-armed quick experiment sweep: every experiment runs with the
 #      online virtual-synchrony invariant monitors in panic mode, so any
 #      violation anywhere in the stack fails the gate,
-#   4. microbench regression gate: the sweep's fresh hot-path medians must
+#   4. microbench regression gate: the sweep's fresh hot-path minima must
 #      stay within 2x of the committed BENCH_results.json baseline,
 #   5. trace demo + Chrome export artifacts (tracectl smoke test),
-#   6. the determinism linter, emitting its machine-readable report.
+#   6. now-cluster loopback smoke: the real-socket backend boots an 8-process
+#      hierarchy over unix sockets, replays short E1/E9 runs, and the merged
+#      trace must show zero virtual-synchrony violations (non-zero exit
+#      otherwise),
+#   7. the determinism linter, emitting its machine-readable report.
 # Fails on the first broken step or on any non-allowlisted lint finding.
 # Artifacts land in BENCH_artifacts/.
 set -euo pipefail
@@ -31,7 +35,7 @@ echo "==> QUICK=1 NOW_MONITORS=1 all_experiments (invariant monitors armed)"
 QUICK=1 NOW_MONITORS=1 cargo run --quiet --release -p isis-bench --bin all_experiments \
     | tee BENCH_artifacts/experiments_quick.txt
 
-echo "==> bench_gate (hot-path medians vs committed baseline)"
+echo "==> bench_gate (hot-path minima vs committed baseline)"
 cargo run --quiet --release -p isis-bench --bin bench_gate -- \
     BENCH_artifacts/baseline.json BENCH_results.json
 
@@ -39,6 +43,10 @@ echo "==> trace demo + tracectl export"
 cargo run --quiet --release -p isis-bench --bin trace_demo
 cargo run --quiet --release -p now-trace --bin tracectl -- \
     BENCH_artifacts/trace_demo.trace --chrome BENCH_artifacts/trace_demo.json
+
+echo "==> now-cluster loopback smoke (real sockets, monitors on merged trace)"
+cargo run --quiet --release -p now-net --bin now-cluster -- smoke \
+    | tee BENCH_artifacts/now_cluster_smoke.txt
 
 echo "==> cargo run -p detlint -- --json"
 cargo run --quiet -p detlint -- --json | tee BENCH_artifacts/detlint.json

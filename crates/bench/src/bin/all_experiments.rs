@@ -10,8 +10,33 @@ use isis_bench::harness::flat_service;
 use isis_bench::microbench::{self, BatchSize, Criterion};
 use isis_bench::report::json_escape;
 use isis_core::testutil::cluster;
-use isis_core::{CastKind, IsisConfig, VClock};
+use isis_core::{CastData, CastKind, GroupId, IsisConfig, IsisMsg, MsgId, StabilityVector, VClock};
+use isis_hier::{HierPayload, HierState};
 use now_sim::{Pid, SimDuration};
+
+/// The message type `now-cluster` ships over the wire: the full stack.
+type WireMsg = IsisMsg<HierPayload<String>, HierState<Vec<String>>>;
+
+/// A realistic hot-path frame payload: causal cast, 16-entry vector clock,
+/// short application payload.
+fn codec_specimen() -> WireMsg {
+    let mut vt = VClock::new();
+    let mut cvt = VClock::new();
+    for i in 0..16u32 {
+        vt.set(Pid(i), u64::from(i) * 3 + 1);
+        cvt.set(Pid(i), u64::from(i) * 2 + 1);
+    }
+    IsisMsg::Cast(CastData {
+        gid: GroupId(9),
+        view: 4,
+        kind: CastKind::Causal,
+        id: MsgId { sender: Pid(5), view: 4, stream: 1, seq: 321 },
+        vt,
+        stab: StabilityVector { view: 4, cvt: cvt.clone(), fvt: cvt, adel: 17 },
+        want_ack: true,
+        payload: HierPayload::Biz("q:IBM:42:123456789".to_string()),
+    })
+}
 
 fn main() {
     let q = isis_bench::quick_mode();
@@ -66,6 +91,11 @@ fn main() {
 
 /// A compact subset of `benches/hotpaths.rs`, cheap enough to ride along
 /// with every experiment sweep.
+///
+/// The benchmark sims always run untraced, even when `NOW_TRACE`/
+/// `NOW_MONITORS` arm the experiment sweeps above: the committed
+/// `BENCH_results.json` baseline is untraced, and `bench_gate` must
+/// compare like with like.
 fn microbenches(quick: bool) {
     let mut c = Criterion::default();
 
@@ -101,7 +131,11 @@ fn microbenches(quick: bool) {
     g.sample_size(if quick { 3 } else { 10 });
     g.bench_function("abcast_n8", |b| {
         b.iter_batched(
-            || cluster(8, IsisConfig::quiet(), 42),
+            || {
+                let mut cl = cluster(8, IsisConfig::quiet(), 42);
+                cl.sim.take_tracer();
+                cl
+            },
             |mut cl| {
                 let sender = cl.pids[0];
                 let gid = cl.gid;
@@ -124,6 +158,7 @@ fn microbenches(quick: bool) {
         b.iter_batched(
             || {
                 let (mut sim, pids) = enginebench::relay_ring(64, 5);
+                sim.take_tracer();
                 sim.run_for(SimDuration::from_secs(1));
                 (sim, pids)
             },
@@ -141,6 +176,7 @@ fn microbenches(quick: bool) {
         b.iter_batched(
             || {
                 let (mut sim, hub) = enginebench::fanout_star(64, 6);
+                sim.take_tracer();
                 sim.run_for(SimDuration::from_secs(1));
                 (sim, hub)
             },
@@ -152,11 +188,57 @@ fn microbenches(quick: bool) {
     });
     g.finish();
 
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(if quick { 20 } else { 50 });
+    {
+        // A realistic wire message: a causal cast with a populated vector
+        // clock, the shape that dominates now-net traffic.
+        let msg = codec_specimen();
+        let bytes = now_net::wire::encode_msg(&msg);
+        g.bench_function("encode_cast", |b| {
+            let mut out = Vec::with_capacity(bytes.len());
+            b.iter(|| {
+                out.clear();
+                let frame = now_net::codec::Frame::Data {
+                    seq: 7,
+                    from: 1,
+                    to: 2,
+                    payload: now_net::wire::encode_msg(std::hint::black_box(&msg)),
+                };
+                now_net::codec::encode_frame(&frame, &mut out);
+                std::hint::black_box(out.len());
+            });
+        });
+        let mut framed = Vec::new();
+        now_net::codec::encode_frame(
+            &now_net::codec::Frame::Data { seq: 7, from: 1, to: 2, payload: bytes },
+            &mut framed,
+        );
+        g.bench_function("decode_cast", |b| {
+            b.iter(|| {
+                let (frame, used) = now_net::codec::decode_frame(std::hint::black_box(&framed))
+                    .expect("valid")
+                    .expect("complete");
+                assert_eq!(used, framed.len());
+                let now_net::codec::Frame::Data { payload, .. } = frame else {
+                    unreachable!("specimen is a data frame")
+                };
+                let back: WireMsg = now_net::wire::decode_msg(&payload).expect("roundtrip");
+                std::hint::black_box(back);
+            });
+        });
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("request_path");
     g.sample_size(if quick { 3 } else { 10 });
     g.bench_function("flat_request_n8", |b| {
         b.iter_batched(
-            || flat_service(8, 7),
+            || {
+                let mut svc = flat_service(8, 7);
+                svc.sim.take_tracer();
+                svc
+            },
             |mut svc| {
                 let members = svc.members.clone();
                 svc.sim.invoke(svc.client, move |p, ctx| {

@@ -1,8 +1,14 @@
 //! Microbench regression gate: compares the freshly generated
 //! `BENCH_results.json` against a committed baseline and fails (exit 1)
-//! when a watched hot-path benchmark's median regresses by more than 2×.
+//! when a watched hot-path benchmark regresses by more than 2×.
 //!
 //! Usage: `bench_gate <baseline.json> <fresh.json>`
+//!
+//! The compared statistic is the per-benchmark *minimum*, not the median:
+//! the CI sweep runs in QUICK mode with as few as 3 samples on a machine
+//! still hot from the test suite, where the median of 3 is dominated by
+//! scheduler noise. The minimum is the least contaminated estimate of the
+//! true cost, and a genuine 2× regression raises the minimum too.
 //!
 //! Only the microbench block is compared — experiment tables are covered
 //! by the determinism tests, and wall-clock fields are machine-dependent.
@@ -17,6 +23,7 @@ const WATCH: &[&str] = &[
     "vclock/",
     "sim_step/",
     "multicast/",
+    "codec/",
     "flat_group/abcast_n8",
     "request_path/flat_request_n8",
 ];
@@ -29,14 +36,14 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_gate <baseline.json> <fresh.json>");
         return ExitCode::FAILURE;
     };
-    let base = match medians(&base_path) {
+    let base = match minima(&base_path) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("bench_gate: {base_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let fresh = match medians(&fresh_path) {
+    let fresh = match minima(&fresh_path) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("bench_gate: {fresh_path}: {e}");
@@ -73,7 +80,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if failed {
-        eprintln!("bench_gate: FAIL — a watched median regressed more than {MAX_RATIO}x");
+        eprintln!("bench_gate: FAIL — a watched minimum regressed more than {MAX_RATIO}x");
         return ExitCode::FAILURE;
     }
     println!("bench_gate: pass ({compared} benchmarks within {MAX_RATIO}x of baseline)");
@@ -86,11 +93,11 @@ fn watched(name: &str) -> bool {
         .any(|w| if let Some(p) = w.strip_suffix('/') { name.starts_with(p) && name[p.len()..].starts_with('/') } else { name == *w })
 }
 
-/// Extracts `(name, median_ns)` pairs from the `"microbench"` array of a
+/// Extracts `(name, min_ns)` pairs from the `"microbench"` array of a
 /// `BENCH_results.json`. The file is produced by our own writer, so the
 /// parser only has to handle that fixed shape — each record is one
-/// `{...}` object containing `"name"` and `"median_ns"` fields.
-fn medians(path: &str) -> Result<Vec<(String, u128)>, String> {
+/// `{...}` object containing `"name"` and `"min_ns"` fields.
+fn minima(path: &str) -> Result<Vec<(String, u128)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let block = text
         .split("\"microbench\":")
@@ -100,8 +107,8 @@ fn medians(path: &str) -> Result<Vec<(String, u128)>, String> {
     for obj in block.split('{').skip(1) {
         let obj = obj.split('}').next().unwrap_or("");
         let name = field_str(obj, "name").ok_or("record without name")?;
-        let median = field_u128(obj, "median_ns").ok_or("record without median_ns")?;
-        out.push((name, median));
+        let min = field_u128(obj, "min_ns").ok_or("record without min_ns")?;
+        out.push((name, min));
     }
     if out.is_empty() {
         return Err("empty microbench block".into());

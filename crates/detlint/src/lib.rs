@@ -26,11 +26,19 @@
 //!   binary: protocol code nothing exercises is dead weight that silently
 //!   rots.
 //! - **R5** — OS threads (`thread::scope`, `thread::spawn`) are permitted
-//!   only in `crates/bench` harness code: the deterministic parallel sweep
-//!   runner farms *whole independent simulations* across workers, but no
-//!   protocol or engine crate may ever touch a thread (inside one
-//!   simulation, concurrency is simulated, never real). Protocol crates are
-//!   covered by R2's thread ban; R5 closes the rest of the workspace.
+//!   only in `crates/bench` harness code (the deterministic parallel sweep
+//!   runner farms *whole independent simulations* across workers) and in
+//!   `crates/net` (the real transport backend: accept loops, per-connection
+//!   readers and daemon main loops are genuinely concurrent). No protocol
+//!   or engine crate may ever touch a thread (inside one simulation,
+//!   concurrency is simulated, never real). Protocol crates are covered by
+//!   R2's thread ban; R5 closes the rest of the workspace.
+//!
+//! Carve-out: `crates/net` is deliberately outside R2's scope and inside
+//! R5's permit list. It is the one place real wall-clocks and OS threads
+//! are the *point* — a daemon speaking sockets cannot run on simulated
+//! time. The protocol crates it hosts remain fully covered: they never
+//! read a clock or spawn a thread themselves, they only see `Ctx`.
 //!
 //! Escape hatch: a finding is suppressed by a comment on the same or the
 //! preceding line of the form `// detlint: allow(R1): <justification>`.
@@ -130,6 +138,9 @@ const R1_SCOPE: [&str; 5] = [
 ];
 
 /// Crates where ambient nondeterminism is banned everywhere, tests included.
+/// Note `crates/net` is deliberately absent: the real transport backend is
+/// the one crate allowed to read wall clocks (its whole job is mapping real
+/// elapsed time onto the `SimTime` axis the protocols expect).
 const R2_SCOPE: [&str; 5] = [
     "crates/trace/",
     "crates/sim/",
@@ -137,6 +148,11 @@ const R2_SCOPE: [&str; 5] = [
     "crates/hier/",
     "crates/toolkit/",
 ];
+
+/// Crates whose code may use OS threads (exempt from R5): the bench
+/// harness's parallel sweep runner, and the real network backend whose
+/// accept/reader/daemon loops are genuinely concurrent.
+const R5_THREADS_OK: [&str; 2] = ["crates/bench/", "crates/net/"];
 
 /// Protocol crates under the unwrap policy (R3) and dead-code rule (R4).
 const R3_SCOPE: [&str; 3] = ["crates/trace/src/", "crates/core/src/", "crates/hier/src/"];
@@ -280,9 +296,10 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
             }
         }
 
-        // R5: OS threads only in the bench harness. Protocol crates are
-        // already under R2's thread ban; R5 covers everything else.
-        if !rel.starts_with("crates/bench/") && !in_scope(rel, &R2_SCOPE) {
+        // R5: OS threads only in the bench harness and the real network
+        // backend. Protocol crates are already under R2's thread ban; R5
+        // covers everything else.
+        if !in_scope(rel, &R5_THREADS_OK) && !in_scope(rel, &R2_SCOPE) {
             for tok in ["thread::spawn", "thread::scope"] {
                 if line.code.contains(tok) {
                     push_finding(
@@ -294,9 +311,10 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                             line: lineno,
                             rule: Rule::R5,
                             message: format!(
-                                "`{tok}` outside the bench harness — OS threads are reserved \
-                                 for `crates/bench` sweep parallelism; protocol and app code \
-                                 must stay single-threaded and deterministic"
+                                "`{tok}` outside the bench harness and net backend — OS \
+                                 threads are reserved for `crates/bench` sweep parallelism \
+                                 and `crates/net` daemon loops; protocol and app code must \
+                                 stay single-threaded and deterministic"
                             ),
                         },
                     );
@@ -723,6 +741,39 @@ impl RepState {
         let src = "fn t() { std::thread::spawn(|| {}); }\n";
         let f = lint_source("crates/core/src/x.rs", src);
         assert_eq!(rules_of(&f), vec![Rule::R2]);
+    }
+
+    // ----- crates/net carve-out ---------------------------------------
+
+    #[test]
+    fn net_backend_may_use_threads_and_wall_clocks() {
+        // The real transport backend is the one crate where OS threads and
+        // wall-clock reads are the point; neither R2 nor R5 fires there.
+        let src = "pub fn serve() {\n  let epoch = std::time::Instant::now();\n  std::thread::spawn(move || { let _ = epoch.elapsed(); });\n  std::thread::scope(|s| { s.spawn(|| {}); });\n}\n";
+        assert!(lint_source("crates/net/src/daemon.rs", src).is_empty());
+        assert!(lint_source("crates/net/src/bin/now_cluster.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_carve_out_does_not_leak_to_neighbours() {
+        // The exemption is exactly `crates/net/` — thread use in app code,
+        // workspace tests, or a hypothetical sibling still fires R5...
+        let threads = "fn go() { std::thread::spawn(|| {}); }\n";
+        for rel in [
+            "crates/apps/src/drivers.rs",
+            "crates/netx/src/lib.rs",
+            "tests/cluster.rs",
+        ] {
+            let f = lint_source(rel, threads);
+            assert_eq!(rules_of(&f), vec![Rule::R5], "{rel} must still be R5");
+        }
+        // ...and wall clocks in the sim/protocol crates still fire R2, even
+        // in their test code.
+        let clock = "fn t() { let _ = std::time::Instant::now(); }\n";
+        for rel in ["crates/sim/src/engine.rs", "crates/hier/tests/t.rs"] {
+            let f = lint_source(rel, clock);
+            assert_eq!(rules_of(&f), vec![Rule::R2], "{rel} must still be R2");
+        }
     }
 
     #[test]

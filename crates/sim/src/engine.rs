@@ -11,6 +11,11 @@
 //! counters are interned ids, the per-callback action buffer is reused
 //! across invocations, multicast shares one payload `Rc` across all
 //! destinations, and the FIFO channel clock is a flat dense table.
+//!
+//! The send/deliver/timer surface lives in [`crate::transport`]: the sim is
+//! the default [`Transport`] implementation, and the process-hosting runtime
+//! (clock snapshot, RNG, stats, tracer, action buffer) is the shared
+//! [`Endpoint`] that real backends reuse unchanged.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -22,8 +27,9 @@ use crate::det_rand::DetRng;
 
 use crate::ids::{NodeId, Pid, SiteId, TimerId};
 use crate::net::{NetConfig, Partition};
-use crate::stats::{CounterId, Observation, ObservationLog, SeriesId, Stats};
+use crate::stats::{ObservationLog, Stats};
 use crate::time::{SimDuration, SimTime};
+use crate::transport::{dispatch, Action, Ctx, Endpoint, Transport};
 
 /// Behaviour of a simulated process.
 ///
@@ -48,169 +54,6 @@ pub trait Process: 'static {
     /// byte counters. The default suits small control messages.
     fn wire_size(_msg: &Self::Msg) -> usize {
         64
-    }
-}
-
-/// Effect context passed to every process callback.
-///
-/// Effects are buffered and applied by the engine after the callback
-/// returns, so a callback observes a consistent snapshot of the world.
-/// The action buffer is owned by the engine and reused across callbacks,
-/// so buffering an effect does not allocate in steady state.
-pub struct Ctx<'a, M> {
-    now: SimTime,
-    me: Pid,
-    rng: &'a mut DetRng,
-    stats: &'a mut Stats,
-    obs: &'a mut ObservationLog,
-    next_timer: &'a mut u64,
-    actions: &'a mut Vec<Action<M>>,
-    tracer: Option<&'a mut Tracer>,
-    /// Trace seq of the event (delivery, timer) that triggered this
-    /// callback; threaded as the `cause` of everything it records.
-    cause: Option<u64>,
-}
-
-enum Action<M> {
-    Send { to: Pid, msg: M },
-    /// One payload, many destinations: the engine shares the message via a
-    /// single `Rc` instead of deep-cloning it per destination.
-    Multicast { dsts: Vec<Pid>, msg: M },
-    SetTimer { id: TimerId, kind: u32, at: SimTime },
-    CancelTimer(TimerId),
-    Halt,
-}
-
-impl<'a, M> Ctx<'a, M> {
-    /// The current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// The pid of the process being called.
-    pub fn me(&self) -> Pid {
-        self.me
-    }
-
-    /// Sends `msg` to `to`. Delivery is asynchronous and may fail if the
-    /// network drops the message or `to` crashes first.
-    pub fn send(&mut self, to: Pid, msg: M) {
-        self.actions.push(Action::Send { to, msg });
-    }
-
-    /// Sends `msg` to every pid in `dsts` (a convenience multicast; each
-    /// destination counts as one message, exactly as the paper counts them).
-    /// The payload is shared across destinations rather than cloned per
-    /// destination; a receiver only pays a clone when it is not the last
-    /// holder of the shared envelope.
-    pub fn multicast(&mut self, dsts: impl IntoIterator<Item = Pid>, msg: M) {
-        let dsts: Vec<Pid> = dsts.into_iter().collect();
-        if dsts.is_empty() {
-            return;
-        }
-        self.actions.push(Action::Multicast { dsts, msg });
-    }
-
-    /// Arms a timer that fires after `delay` with the caller-chosen `kind`
-    /// discriminator. Returns a handle usable with [`Ctx::cancel_timer`].
-    pub fn set_timer(&mut self, delay: SimDuration, kind: u32) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
-        self.actions.push(Action::SetTimer {
-            id,
-            kind,
-            at: self.now + delay,
-        });
-        id
-    }
-
-    /// Cancels a previously armed timer. Cancelling an already-fired or
-    /// unknown timer is a no-op.
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.actions.push(Action::CancelTimer(id));
-    }
-
-    /// Halts the calling process (a voluntary, silent stop — used to model a
-    /// process leaving the system without protocol-level goodbye).
-    pub fn halt(&mut self) {
-        self.actions.push(Action::Halt);
-    }
-
-    /// Deterministic randomness for protocol-level choices.
-    pub fn rng(&mut self) -> &mut DetRng {
-        self.rng
-    }
-
-    /// Emits a labelled observation for the harness. Labels are static so
-    /// emission never allocates.
-    pub fn observe(&mut self, label: &'static str, value: f64) {
-        self.obs.push(Observation {
-            at: self.now,
-            by: self.me,
-            label,
-            value,
-        });
-    }
-
-    /// Registers (or looks up) a named counter, returning a dense handle.
-    /// Hot paths resolve the id once and bump through [`Ctx::bump_id`].
-    pub fn counter_id(&mut self, name: &'static str) -> CounterId {
-        self.stats.counter_id(name)
-    }
-
-    /// Registers (or looks up) a named series, returning a dense handle.
-    pub fn series_id(&mut self, name: &'static str) -> SeriesId {
-        self.stats.series_id(name)
-    }
-
-    /// Adds one to an interned counter — a single array index.
-    #[inline]
-    pub fn bump_id(&mut self, id: CounterId) {
-        self.stats.bump_id(id);
-    }
-
-    /// Adds `n` to an interned counter — a single array index.
-    #[inline]
-    pub fn bump_id_by(&mut self, id: CounterId, n: u64) {
-        self.stats.bump_id_by(id, n);
-    }
-
-    /// Records a sample in an interned series — a single array index.
-    #[inline]
-    pub fn sample_id(&mut self, id: SeriesId, v: f64) {
-        self.stats.sample_id(id, v);
-    }
-
-    /// Adds one to a named global counter (interned on first use).
-    pub fn bump(&mut self, name: &'static str) {
-        self.stats.bump(name);
-    }
-
-    /// Records a sample in a named global series (interned on first use).
-    pub fn sample(&mut self, name: &'static str, v: f64) {
-        self.stats.sample(name, v);
-    }
-
-    /// Records a duration sample (milliseconds) in a named global series.
-    pub fn sample_duration(&mut self, name: &'static str, d: SimDuration) {
-        self.stats.sample_duration(name, d);
-    }
-
-    /// Whether a tracer is attached. Protocol layers may use this to skip
-    /// building expensive event payloads when tracing is off.
-    pub fn tracing(&self) -> bool {
-        self.tracer.is_some()
-    }
-
-    /// Records a trace event, lazily built by `f` only when tracing is on.
-    /// The event is stamped with the current time, this pid, and the causal
-    /// link to the delivery/timer that triggered this callback. Returns the
-    /// event's seq (0 when tracing is off).
-    pub fn trace_with(&mut self, f: impl FnOnce() -> now_trace::EventKind) -> u64 {
-        match self.tracer.as_deref_mut() {
-            Some(tr) => tr.record(self.now.as_micros(), self.me.0, self.cause, f()),
-            None => 0,
-        }
     }
 }
 
@@ -310,9 +153,11 @@ impl SimConfig {
 }
 
 /// The simulator: a deterministic, single-threaded world of workstations.
+/// It is the default [`Transport`] implementation: actions buffered by
+/// callbacks are interpreted against its latency/loss model and pending
+/// event queue.
 pub struct Sim<P: Process> {
     cfg: SimConfig,
-    now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Entry>>,
     /// Pending delivery payloads, indexed by `Event::Deliver::payload`. A
@@ -324,9 +169,10 @@ pub struct Sim<P: Process> {
     procs: Vec<Option<Slot<P>>>,
     node_sites: Vec<SiteId>,
     partition: Partition,
-    rng: DetRng,
-    stats: Stats,
-    obs: ObservationLog,
+    /// The process-hosting runtime shared with real backends: clock
+    /// snapshot, RNG, stats, observations, timer-id allocator, reusable
+    /// action buffer, optional tracer. The sim is its single clock writer.
+    ep: Endpoint<P::Msg>,
     /// Timers that are armed and not yet fired or cancelled. Every entry has
     /// exactly one matching `Event::Timer` in the queue, which removes it
     /// when it pops — so the set is bounded by the pending-timer count and
@@ -334,73 +180,56 @@ pub struct Sim<P: Process> {
     /// An id-sorted vec: ids are allocated monotonically, so arming is a
     /// push at the tail and lookups are a binary search over a few entries.
     armed: Vec<(TimerId, SimTime)>,
-    next_timer: u64,
     /// Per ordered (src, dst) pair: latest scheduled arrival, used to keep
     /// channels FIFO when `NetConfig::fifo` is set. A flat dense table
     /// indexed `[src][dst]` (grown on demand; `SimTime::ZERO` = no pending
     /// constraint) — pid-pair keyed tree walks were a route() hot spot.
     channel_clock: Vec<Vec<SimTime>>,
-    /// Reusable action buffer handed to each callback via `Ctx`.
-    scratch_actions: Vec<Action<P::Msg>>,
-    /// Optional causal tracer. `None` (the default unless `NOW_MONITORS` /
-    /// `NOW_TRACE` is set) means tracing is off and the run is byte-identical
-    /// to one without the tracing layer: recording never touches the RNG,
-    /// the stats, or event ordering.
-    tracer: Option<Tracer>,
 }
 
 impl<P: Process> Sim<P> {
     /// Creates an empty world.
     pub fn new(cfg: SimConfig) -> Sim<P> {
-        let rng = DetRng::seed_from_u64(cfg.seed);
+        let ep = Endpoint::new(cfg.seed);
         Sim {
             cfg,
-            now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
             procs: Vec::new(),
             node_sites: Vec::new(),
             partition: Partition::connected(),
-            rng,
-            stats: Stats::default(),
-            obs: ObservationLog::default(),
+            ep,
             payloads: Vec::new(),
             free_payloads: Vec::new(),
             armed: Vec::new(),
-            next_timer: 0,
             channel_clock: Vec::new(),
-            scratch_actions: Vec::new(),
-            tracer: Tracer::from_env(),
         }
     }
 
     /// Attaches a tracer (e.g. `Tracer::new().with_monitors(..)`), replacing
     /// and returning any existing one.
     pub fn set_tracer(&mut self, t: Tracer) -> Option<Tracer> {
-        self.tracer.replace(t)
+        self.ep.set_tracer(t)
     }
 
     /// The attached tracer, if tracing is enabled.
     pub fn tracer(&self) -> Option<&Tracer> {
-        self.tracer.as_ref()
+        self.ep.tracer()
     }
 
     /// Mutable access to the attached tracer (for fault injection in tests).
     pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
-        self.tracer.as_mut()
+        self.ep.tracer_mut()
     }
 
     /// Detaches and returns the tracer, disabling tracing from here on.
     pub fn take_tracer(&mut self) -> Option<Tracer> {
-        self.tracer.take()
+        self.ep.take_tracer()
     }
 
     /// Records an engine-level trace event; no-op (returning 0) when off.
     fn trace(&mut self, pid: Pid, cause: Option<u64>, kind: TraceKind) -> u64 {
-        match self.tracer.as_mut() {
-            Some(tr) => tr.record(self.now.as_micros(), pid.0, cause, kind),
-            None => 0,
-        }
+        self.ep.trace(pid, cause, kind)
     }
 
     /// Adds a workstation at `site` and returns its id.
@@ -431,11 +260,11 @@ impl<P: Process> Sim<P> {
             node,
             alive: true,
         }));
-        self.stats.ensure_proc(pid);
-        if self.tracer.is_some() {
+        self.ep.stats.ensure_proc(pid);
+        if self.ep.tracing() {
             self.trace(pid, None, TraceKind::Spawn { node: node.0 });
         }
-        self.push(self.now, Event::Start(pid));
+        self.push(self.ep.now, Event::Start(pid));
         pid
     }
 
@@ -472,27 +301,37 @@ impl<P: Process> Sim<P> {
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.ep.now
+    }
+
+    /// The process-hosting runtime (stats, observations, RNG, tracer).
+    pub fn endpoint(&self) -> &Endpoint<P::Msg> {
+        &self.ep
+    }
+
+    /// Mutable access to the process-hosting runtime.
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint<P::Msg> {
+        &mut self.ep
     }
 
     /// Immutable view of the run statistics.
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        self.ep.stats()
     }
 
     /// Mutable access to statistics (to enable tracking or reset windows).
     pub fn stats_mut(&mut self) -> &mut Stats {
-        &mut self.stats
+        self.ep.stats_mut()
     }
 
     /// The observation log.
     pub fn observations(&self) -> &ObservationLog {
-        &self.obs
+        self.ep.observations()
     }
 
     /// Mutable observation log (for clearing between measurement windows).
     pub fn observations_mut(&mut self) -> &mut ObservationLog {
-        &mut self.obs
+        self.ep.observations_mut()
     }
 
     /// Immutable access to a process's state, alive or crashed.
@@ -550,7 +389,7 @@ impl<P: Process> Sim<P> {
 
     /// Harness randomness drawn from the same deterministic stream.
     pub fn rng_mut(&mut self) -> &mut DetRng {
-        &mut self.rng
+        self.ep.rng_mut()
     }
 
     /// Marks `pid` dead and forgets its FIFO channel state.
@@ -599,7 +438,7 @@ impl<P: Process> Sim<P> {
     /// Crashes `pid` immediately: it stops executing and every in-flight
     /// message or timer addressed to it is silently discarded.
     pub fn crash(&mut self, pid: Pid) {
-        if self.kill(pid) && self.tracer.is_some() {
+        if self.kill(pid) && self.ep.tracing() {
             self.trace(pid, None, TraceKind::Crash);
         }
     }
@@ -617,7 +456,7 @@ impl<P: Process> Sim<P> {
         }
         for pid in died {
             self.purge_channels(pid);
-            if self.tracer.is_some() {
+            if self.ep.tracing() {
                 self.trace(pid, None, TraceKind::Crash);
             }
         }
@@ -625,7 +464,7 @@ impl<P: Process> Sim<P> {
 
     /// Schedules a crash of `pid` at absolute time `at`.
     pub fn schedule_crash(&mut self, pid: Pid, at: SimTime) {
-        assert!(at >= self.now, "cannot schedule a crash in the past");
+        assert!(at >= self.ep.now, "cannot schedule a crash in the past");
         self.push(at, Event::Crash(pid));
     }
 
@@ -636,7 +475,7 @@ impl<P: Process> Sim<P> {
 
     /// Schedules a partition change at absolute time `at`.
     pub fn schedule_partition(&mut self, at: SimTime, p: Partition) {
-        assert!(at >= self.now, "cannot schedule a partition in the past");
+        assert!(at >= self.ep.now, "cannot schedule a partition in the past");
         self.push(at, Event::SetPartition(p));
     }
 
@@ -669,71 +508,19 @@ impl<P: Process> Sim<P> {
         if !self.is_alive(pid) {
             return None;
         }
-        // Reuse the engine-owned action buffer: callbacks are never nested
-        // (apply_actions cannot re-enter invoke), so taking it is safe and
-        // steady-state invocations allocate nothing.
-        let mut actions = std::mem::take(&mut self.scratch_actions);
-        let r = {
+        // Callbacks are never nested (dispatch cannot re-enter invoke), so
+        // the endpoint-owned scratch buffer round-trips through `run` /
+        // `give_back` and steady-state invocations allocate nothing.
+        let (r, mut actions) = {
             // Split borrows: the process slot stays in place (no move out and
-            // back) while `Ctx` borrows the disjoint engine fields.
-            let Sim { procs, rng, stats, obs, next_timer, tracer, now, .. } = self;
+            // back) while the endpoint borrows its disjoint fields.
+            let Sim { procs, ep, .. } = self;
             let slot = procs[pid.0 as usize].as_mut().expect("unknown pid");
-            let mut ctx = Ctx {
-                now: *now,
-                me: pid,
-                rng,
-                stats,
-                obs,
-                next_timer,
-                actions: &mut actions,
-                tracer: tracer.as_mut(),
-                cause,
-            };
-            f(&mut slot.proc, &mut ctx)
+            ep.run(pid, cause, |ctx| f(&mut slot.proc, ctx))
         };
-        self.apply_actions(pid, &mut actions, cause);
-        actions.clear();
-        self.scratch_actions = actions;
+        dispatch(self, pid, &mut actions, cause);
+        self.ep.give_back(actions);
         Some(r)
-    }
-
-    fn apply_actions(&mut self, from: Pid, actions: &mut Vec<Action<P::Msg>>, cause: Option<u64>) {
-        for a in actions.drain(..) {
-            match a {
-                Action::Send { to, msg } => self.route(from, to, msg, cause),
-                Action::Multicast { dsts, msg } => {
-                    // Size once, share the payload; each destination still
-                    // counts as one message, exactly as before.
-                    let bytes = P::wire_size(&msg);
-                    let shared = Rc::new(msg);
-                    for to in dsts {
-                        self.route_payload(
-                            from,
-                            to,
-                            Payload::Shared(Rc::clone(&shared)),
-                            bytes,
-                            cause,
-                        );
-                    }
-                }
-                Action::SetTimer { id, kind, at } => {
-                    // Ids are handed out monotonically, so this is a push.
-                    debug_assert!(self.armed.last().is_none_or(|&(last, _)| last < id));
-                    self.armed.push((id, at));
-                    self.push(at, Event::Timer { pid: from, id, kind });
-                }
-                Action::CancelTimer(id) => {
-                    if let Ok(i) = self.armed.binary_search_by_key(&id, |&(t, _)| t) {
-                        self.armed.remove(i);
-                    }
-                }
-                Action::Halt => {
-                    if self.kill(from) && self.tracer.is_some() {
-                        self.trace(from, cause, TraceKind::Halt);
-                    }
-                }
-            }
-        }
     }
 
     fn route(&mut self, from: Pid, to: Pid, msg: P::Msg, cause: Option<u64>) {
@@ -749,15 +536,15 @@ impl<P: Process> Sim<P> {
         bytes: usize,
         cause: Option<u64>,
     ) {
-        self.stats.record_send(from, to, bytes);
+        self.ep.stats.record_send(from, to, bytes);
         // The NetSend's seq *is* the wire id carried by the delivery/drop.
-        let wire = match self.tracer.is_some() {
+        let wire = match self.ep.tracing() {
             true => self.trace(from, cause, TraceKind::NetSend { to: to.0, bytes: bytes as u64 }),
             false => 0,
         };
         if (to.0 as usize) >= self.procs.len() {
             // Message to a pid that does not exist (e.g. stale address).
-            self.stats.record_drop(to);
+            self.ep.stats.record_drop(to);
             if wire > 0 {
                 self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
             }
@@ -776,20 +563,20 @@ impl<P: Process> Sim<P> {
             } else {
                 &self.cfg.net.long_distance
             };
-            if model.sample_drop(&mut self.rng) {
+            if model.sample_drop(&mut self.ep.rng) {
                 None
             } else {
-                Some(model.sample_latency(bytes, &mut self.rng))
+                Some(model.sample_latency(bytes, &mut self.ep.rng))
             }
         };
         let Some(latency) = latency else {
-            self.stats.record_drop(to);
+            self.ep.stats.record_drop(to);
             if wire > 0 {
                 self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
             }
             return;
         };
-        let mut arrival = self.now + latency;
+        let mut arrival = self.ep.now + latency;
         if self.cfg.net.fifo {
             let (fi, ti) = (from.0 as usize, to.0 as usize);
             if self.channel_clock.len() <= fi {
@@ -816,8 +603,8 @@ impl<P: Process> Sim<P> {
             let Some(Reverse(entry)) = self.queue.pop() else {
                 return false;
             };
-            debug_assert!(entry.at >= self.now, "event queue went backwards");
-            self.now = entry.at;
+            debug_assert!(entry.at >= self.ep.now, "event queue went backwards");
+            self.ep.now = entry.at;
             match entry.ev {
                 Event::Start(pid) => {
                     if self.is_alive(pid) {
@@ -828,7 +615,7 @@ impl<P: Process> Sim<P> {
                     let payload = self.take_payload(payload);
                     let link = (wire > 0).then_some(wire);
                     if !self.is_alive(to) {
-                        self.stats.record_drop(to);
+                        self.ep.stats.record_drop(to);
                         if wire > 0 {
                             self.trace(from, link, TraceKind::NetDrop { to: to.0, send: wire });
                         }
@@ -846,15 +633,15 @@ impl<P: Process> Sim<P> {
                     if let Some(sn) = src_node {
                         let dn = self.slot(to).node;
                         if !self.partition.connected_pair(sn, dn) {
-                            self.stats.record_drop(to);
+                            self.ep.stats.record_drop(to);
                             if wire > 0 {
                                 self.trace(from, link, TraceKind::NetDrop { to: to.0, send: wire });
                             }
                             continue;
                         }
                     }
-                    self.stats.record_delivery(to);
-                    let cause = match self.tracer.is_some() {
+                    self.ep.stats.record_delivery(to);
+                    let cause = match self.ep.tracing() {
                         true => Some(self.trace(
                             to,
                             link,
@@ -875,7 +662,7 @@ impl<P: Process> Sim<P> {
                         Err(_) => continue,
                     }
                     if self.is_alive(pid) {
-                        let cause = match self.tracer.is_some() {
+                        let cause = match self.ep.tracing() {
                             true => Some(self.trace(
                                 pid,
                                 None,
@@ -902,14 +689,14 @@ impl<P: Process> Sim<P> {
             }
             self.step();
         }
-        if self.now < t {
-            self.now = t;
+        if self.ep.now < t {
+            self.ep.now = t;
         }
     }
 
     /// Runs for `d` of simulated time from now.
     pub fn run_for(&mut self, d: SimDuration) {
-        let t = self.now + d;
+        let t = self.ep.now + d;
         self.run_until(t);
     }
 
@@ -932,8 +719,8 @@ impl<P: Process> Sim<P> {
     /// after the loopback latency.
     pub fn inject(&mut self, to: Pid, msg: P::Msg) {
         let bytes = P::wire_size(&msg);
-        self.stats.record_send(Pid::EXTERNAL, to, bytes);
-        let wire = match self.tracer.is_some() {
+        self.ep.stats.record_send(Pid::EXTERNAL, to, bytes);
+        let wire = match self.ep.tracing() {
             true => self.trace(
                 Pid::EXTERNAL,
                 None,
@@ -943,7 +730,7 @@ impl<P: Process> Sim<P> {
         };
         let payload = self.store_payload(Payload::One(msg));
         self.push(
-            self.now + self.cfg.net.loopback,
+            self.ep.now + self.cfg.net.loopback,
             Event::Deliver {
                 to,
                 from: Pid::EXTERNAL,
@@ -956,6 +743,51 @@ impl<P: Process> Sim<P> {
     /// Number of events currently pending.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+}
+
+/// The simulator is the default transport: actions become queue events
+/// routed through the latency/loss model, on simulated time.
+impl<P: Process> Transport<P::Msg> for Sim<P> {
+    fn clock(&self) -> SimTime {
+        self.ep.now
+    }
+
+    fn apply(&mut self, from: Pid, action: Action<P::Msg>, cause: Option<u64>) {
+        match action {
+            Action::Send { to, msg } => self.route(from, to, msg, cause),
+            Action::Multicast { dsts, msg } => {
+                // Size once, share the payload; each destination still
+                // counts as one message, exactly as before.
+                let bytes = P::wire_size(&msg);
+                let shared = Rc::new(msg);
+                for to in dsts {
+                    self.route_payload(
+                        from,
+                        to,
+                        Payload::Shared(Rc::clone(&shared)),
+                        bytes,
+                        cause,
+                    );
+                }
+            }
+            Action::SetTimer { id, kind, at } => {
+                // Ids are handed out monotonically, so this is a push.
+                debug_assert!(self.armed.last().is_none_or(|&(last, _)| last < id));
+                self.armed.push((id, at));
+                self.push(at, Event::Timer { pid: from, id, kind });
+            }
+            Action::CancelTimer(id) => {
+                if let Ok(i) = self.armed.binary_search_by_key(&id, |&(t, _)| t) {
+                    self.armed.remove(i);
+                }
+            }
+            Action::Halt => {
+                if self.kill(from) && self.ep.tracing() {
+                    self.trace(from, cause, TraceKind::Halt);
+                }
+            }
+        }
     }
 }
 

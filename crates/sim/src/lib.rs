@@ -44,9 +44,11 @@ pub mod ids;
 pub mod net;
 pub mod stats;
 pub mod time;
+pub mod transport;
 
 pub use det_rand::{DetRng, Rng};
-pub use engine::{Ctx, Process, Sim, SimConfig};
+pub use engine::{Process, Sim, SimConfig};
+pub use transport::{dispatch, Action, Ctx, Endpoint, Transport};
 pub use ids::{NodeId, Pid, SiteId, TimerId};
 pub use net::{LinkModel, NetConfig, Partition};
 pub use stats::{CounterId, ObservationLog, Series, SeriesId, Stats};

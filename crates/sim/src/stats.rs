@@ -158,7 +158,9 @@ impl Stats {
         }
     }
 
-    pub(crate) fn ensure_proc(&mut self, pid: Pid) {
+    /// Grows the per-process table to cover `pid`. Public for external
+    /// transport backends that host processes (see [`Stats::record_send`]).
+    pub fn ensure_proc(&mut self, pid: Pid) {
         let idx = pid.0 as usize;
         if self.per_proc.len() <= idx {
             self.per_proc.resize_with(idx + 1, ProcStats::default);
@@ -168,7 +170,10 @@ impl Stats {
         }
     }
 
-    pub(crate) fn record_send(&mut self, from: Pid, to: Pid, bytes: usize) {
+    /// Counts one message leaving `from` for `to`. Public so transport
+    /// backends outside this crate (the `now-net` daemon) keep the same
+    /// books as the simulator.
+    pub fn record_send(&mut self, from: Pid, to: Pid, bytes: usize) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
         if !from.is_external() {
@@ -182,13 +187,15 @@ impl Stats {
         }
     }
 
-    pub(crate) fn record_delivery(&mut self, to: Pid) {
+    /// Counts one delivery at `to` (see [`Stats::record_send`]).
+    pub fn record_delivery(&mut self, to: Pid) {
         self.messages_delivered += 1;
         self.ensure_proc(to);
         self.per_proc[to.0 as usize].received += 1;
     }
 
-    pub(crate) fn record_drop(&mut self, to: Pid) {
+    /// Counts one drop bound for `to` (see [`Stats::record_send`]).
+    pub fn record_drop(&mut self, to: Pid) {
         self.messages_dropped += 1;
         if !to.is_external() {
             self.ensure_proc(to);

@@ -72,6 +72,59 @@ fn hierarchy_through_facade_bounds_failure_scope() {
     }
 }
 
+/// Golden-digest regression for the `Transport` refactor: the simulator now
+/// drives processes through the same `Endpoint`/`Action` surface that real
+/// network backends (crates/net) use, and this scenario pins the exact
+/// traffic digest of a core cluster and a hierarchy run. Any change to the
+/// engine, the transport dispatch, or the protocol stack that alters even
+/// one message or timestamp shows up here as a digest mismatch.
+#[test]
+fn transport_refactor_digests_are_stable() {
+    // Core layer: 12 mixed-kind casts over a 5-process group.
+    let mut c = cluster(5, IsisConfig::default(), 42);
+    let gid = c.gid;
+    let kinds = [CastKind::Fifo, CastKind::Causal, CastKind::Total];
+    for i in 0..12 {
+        let s = c.pids[i % 5];
+        let kind = kinds[i % 3];
+        c.sim.invoke(s, move |p, ctx| {
+            p.cast(gid, kind, format!("m{i}"), ctx).unwrap();
+        });
+    }
+    c.settle();
+    let st = c.sim.stats();
+    assert_eq!(
+        (
+            st.messages_sent,
+            st.messages_delivered,
+            st.bytes_sent,
+            c.sim.now().as_micros(),
+        ),
+        (3063, 3063, 436944, 30000007),
+        "core digest drifted: engine/transport behavior changed"
+    );
+
+    // Hierarchy layer: 5 broadcasts through a 24-member LAN hierarchy.
+    let mut h = isis_repro::hier::harness::large_cluster_lan(24, LargeGroupConfig::new(2, 4), 7);
+    for i in 0..5 {
+        let origin = h.members[3];
+        h.lbcast(origin, &format!("b{i}"));
+    }
+    h.run_for(SimDuration::from_secs(30));
+    h.assert_uniform_lbcast_logs();
+    let st = h.sim.stats();
+    assert_eq!(
+        (
+            st.messages_sent,
+            st.messages_delivered,
+            st.bytes_sent,
+            h.sim.now().as_micros(),
+        ),
+        (15451, 15451, 792872, 30010886),
+        "hierarchy digest drifted: engine/transport behavior changed"
+    );
+}
+
 #[test]
 fn workloads_through_facade() {
     let t = isis_repro::apps::run_trading_hier(
