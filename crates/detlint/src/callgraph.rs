@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::scrub::Line;
+use crate::tok::{is_ident, tokenize, KEYWORDS};
 
 /// One `fn` item found in a scrubbed file.
 #[derive(Clone, Debug)]
@@ -27,46 +28,6 @@ pub struct FnDef {
     pub in_test: bool,
     /// Names called (idents immediately followed by `(`) inside the body.
     pub callees: BTreeSet<String>,
-}
-
-#[derive(Clone, Debug, PartialEq)]
-struct Token {
-    text: String,
-    line: usize, // 1-based
-}
-
-const KEYWORDS: &[&str] = &[
-    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "move", "in",
-    "impl", "pub", "use", "mod", "struct", "enum", "trait", "where", "self", "Self", "super",
-    "crate", "const", "static", "type", "as", "dyn", "ref", "break", "continue", "unsafe",
-    "async", "await", "true", "false",
-];
-
-fn tokenize(lines: &[Line]) -> Vec<Token> {
-    let mut out = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        let mut cur = String::new();
-        for c in line.code.chars() {
-            if c.is_alphanumeric() || c == '_' {
-                cur.push(c);
-            } else {
-                if !cur.is_empty() {
-                    out.push(Token { text: std::mem::take(&mut cur), line: idx + 1 });
-                }
-                if !c.is_whitespace() {
-                    out.push(Token { text: c.to_string(), line: idx + 1 });
-                }
-            }
-        }
-        if !cur.is_empty() {
-            out.push(Token { text: cur, line: idx + 1 });
-        }
-    }
-    out
-}
-
-fn is_ident(t: &str) -> bool {
-    t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
 }
 
 /// Extracts every `fn` definition (with body) from a scrubbed file.

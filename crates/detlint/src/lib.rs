@@ -34,6 +34,27 @@
 //!   concurrency is simulated, never real). Protocol crates are covered by
 //!   R2's thread ban; R5 closes the rest of the workspace.
 //!
+//! - **R6** — no bare `_ =>` arm in any `match` that inspects a protocol
+//!   enum (an enum named `…Msg`/`…Payload`/`…Cmd` in protocol source): a
+//!   variant added later would be swallowed without even a counter bump.
+//!   Name the remaining variants, or bind them (`other =>`) and route
+//!   through a traced unhandled path.
+//! - **R7** — every protocol-enum variant is both *constructed* somewhere
+//!   and *named in a pattern* somewhere (outside the wire codec, which
+//!   names everything by definition): anything else is dead wire surface.
+//! - **R8** — wire-schema parity: each `impl Wire for E` in `crates/net`
+//!   must carry an encode arm *and* a decode arm for every variant of `E`,
+//!   and no arm for a variant `E` no longer has. Decode matches on a tag
+//!   byte with a `BadTag` catch-all, so drift compiles silently — R8 makes
+//!   it a lint failure instead of a codec-fuzz lottery.
+//! - **R9** — thread-topology audit for `crates/net`: cross-thread mutable
+//!   state flows only through `mpsc` channels or declared atomics. The
+//!   constructs that would break that shape (`Mutex`, `RwLock`, `Condvar`,
+//!   `UnsafeCell`, `static mut`) are banned in the net crate.
+//! - **R10** — every `// detlint: allow(...)` directive must still
+//!   suppress a live finding; stale or unknown-rule directives are
+//!   findings themselves, so suppressions cannot outlive their reason.
+//!
 //! Carve-out: `crates/net` is deliberately outside R2's scope and inside
 //! R5's permit list. It is the one place real wall-clocks and OS threads
 //! are the *point* — a daemon speaking sockets cannot run on simulated
@@ -41,11 +62,17 @@
 //! read a clock or spawn a thread themselves, they only see `Ctx`.
 //!
 //! Escape hatch: a finding is suppressed by a comment on the same or the
-//! preceding line of the form `// detlint: allow(R1): <justification>`.
-//! The justification text is mandatory; a bare allow is itself reported.
+//! preceding line whose whole text is `detlint: allow(R1): <justification>`
+//! (i.e. written as `// detlint: allow(R1): <justification>`). The
+//! justification text is mandatory; a bare allow is itself reported, and
+//! R10 retires any directive that stops suppressing something.
 
 pub mod callgraph;
+pub mod flow;
 pub mod scrub;
+pub mod threads;
+mod tok;
+pub mod wireparity;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -67,11 +94,32 @@ pub enum Rule {
     R4,
     /// OS-thread use outside the bench harness.
     R5,
+    /// Bare `_ =>` arm swallowing protocol-enum variants.
+    R6,
+    /// Protocol variant constructed-but-unhandled or handled-but-never-made.
+    R7,
+    /// Wire-codec arm set drifted from the enum definition.
+    R8,
+    /// Lock/interior-mutability construct in the net backend.
+    R9,
+    /// Stale or malformed `detlint: allow` directive.
+    R10,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
+    pub const ALL: [Rule; 10] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::R9,
+        Rule::R10,
+    ];
 
     fn id(self) -> &'static str {
         match self {
@@ -80,6 +128,11 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
+            Rule::R10 => "R10",
         }
     }
 }
@@ -173,15 +226,16 @@ const R2_BANNED: [(&str, &str); 8] = [
     ("rand::random", "unseeded RNG"),
 ];
 
-/// Returns `true` if the comment on this or the preceding line carries a
-/// justified `detlint: allow(rule)` directive. A directive *without*
+/// Looks for a `detlint: allow(rule)` directive on this or the preceding
+/// line; also returns the 0-based index of the directive line found, so
+/// R10 can tell live directives from stale ones. A directive *without*
 /// justification does not suppress (the caller reports it separately).
-fn allowed(lines: &[Line], idx: usize, rule: Rule) -> AllowState {
-    let mut state = AllowState::None;
+fn allowed(lines: &[Line], idx: usize, rule: Rule) -> (AllowState, Option<usize>) {
+    let mut state = (AllowState::None, None);
     for k in [idx.checked_sub(1), Some(idx)].into_iter().flatten() {
         match parse_allow(&lines[k].comment, rule) {
-            AllowState::Justified => return AllowState::Justified,
-            AllowState::Bare => state = AllowState::Bare,
+            AllowState::Justified => return (AllowState::Justified, Some(k)),
+            AllowState::Bare => state = (AllowState::Bare, Some(k)),
             AllowState::None => {}
         }
     }
@@ -197,20 +251,25 @@ enum AllowState {
     Justified,
 }
 
+/// A comment is a directive only when its trimmed text *starts* with
+/// `detlint:` — prose that merely mentions the syntax (doc comments, this
+/// very file) does not count. Returns the text inside `allow(...)`.
+fn parse_directive(comment: &str) -> Option<&str> {
+    let rest = comment.trim_start().strip_prefix("detlint:")?;
+    let rest = rest.trim_start().strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    Some(rest[..close].trim())
+}
+
 fn parse_allow(comment: &str, rule: Rule) -> AllowState {
-    let Some(pos) = comment.find("detlint:") else {
+    if parse_directive(comment) != Some(rule.id()) {
         return AllowState::None;
-    };
-    let rest = comment[pos + "detlint:".len()..].trim_start();
-    let Some(rest) = rest.strip_prefix("allow(") else {
-        return AllowState::None;
-    };
+    }
+    // Re-find the close paren to inspect the justification tail.
+    let rest = comment.trim_start();
     let Some(close) = rest.find(')') else {
         return AllowState::None;
     };
-    if rest[..close].trim() != rule.id() {
-        return AllowState::None;
-    }
     let after = rest[close + 1..].trim_start();
     match after.strip_prefix(':') {
         Some(j) if !j.trim().is_empty() => AllowState::Justified,
@@ -220,11 +279,21 @@ fn parse_allow(comment: &str, rule: Rule) -> AllowState {
 
 /// Emits `finding` unless an allow directive suppresses it; a bare
 /// directive is converted into its own finding so justifications stay
-/// mandatory.
-fn push_finding(out: &mut Vec<Finding>, lines: &[Line], idx: usize, finding: Finding) {
+/// mandatory. Directive lines that matched (either way) are recorded in
+/// `used` — R10 retires the rest.
+fn push_finding(
+    out: &mut Vec<Finding>,
+    lines: &[Line],
+    idx: usize,
+    used: &mut BTreeSet<usize>,
+    finding: Finding,
+) {
     match allowed(lines, idx, finding.rule) {
-        AllowState::Justified => {}
-        AllowState::Bare => {
+        (AllowState::Justified, k) => {
+            used.extend(k);
+        }
+        (AllowState::Bare, k) => {
+            used.extend(k);
             let rule = finding.rule;
             out.push(Finding {
                 message: format!(
@@ -233,14 +302,19 @@ fn push_finding(out: &mut Vec<Finding>, lines: &[Line], idx: usize, finding: Fin
                 ..finding
             });
         }
-        AllowState::None => out.push(finding),
+        (AllowState::None, _) => out.push(finding),
     }
 }
 
-/// Lints one file's source text under rules R1–R3. (R4 needs the whole
-/// workspace; see [`lint_workspace`].)
+/// Lints one file's source text under the per-line rules (R1–R3, R5).
+/// The whole-workspace rules (R4, R6–R10) need the full file set; see
+/// [`lint_workspace`].
 pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
-    let lines = scrub(source);
+    let mut used = BTreeSet::new();
+    lint_source_inner(rel, &scrub(source), &mut used)
+}
+
+fn lint_source_inner(rel: &str, lines: &[Line], used: &mut BTreeSet<usize>) -> Vec<Finding> {
     let mut out = Vec::new();
 
     for (idx, line) in lines.iter().enumerate() {
@@ -252,8 +326,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                 if has_ident(&line.code, container) {
                     push_finding(
                         &mut out,
-                        &lines,
+                        lines,
                         idx,
+                        used,
                         Finding {
                             file: rel.to_string(),
                             line: lineno,
@@ -280,8 +355,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                 if hit {
                     push_finding(
                         &mut out,
-                        &lines,
+                        lines,
                         idx,
+                        used,
                         Finding {
                             file: rel.to_string(),
                             line: lineno,
@@ -304,8 +380,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
                 if line.code.contains(tok) {
                     push_finding(
                         &mut out,
-                        &lines,
+                        lines,
                         idx,
+                        used,
                         Finding {
                             file: rel.to_string(),
                             line: lineno,
@@ -327,8 +404,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
             if line.code.contains(".unwrap()") {
                 push_finding(
                     &mut out,
-                    &lines,
+                    lines,
                     idx,
+                    used,
                     Finding {
                         file: rel.to_string(),
                         line: lineno,
@@ -342,8 +420,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
             if line.code.contains(".expect(\"\")") {
                 push_finding(
                     &mut out,
-                    &lines,
+                    lines,
                     idx,
+                    used,
                     Finding {
                         file: rel.to_string(),
                         line: lineno,
@@ -360,7 +439,7 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
 
 /// True when `ident` appears in `code` as a whole word (not as a substring
 /// of a longer identifier).
-fn has_ident(code: &str, ident: &str) -> bool {
+pub(crate) fn has_ident(code: &str, ident: &str) -> bool {
     let bytes = code.as_bytes();
     let mut from = 0;
     while let Some(p) = code[from..].find(ident) {
@@ -392,27 +471,60 @@ pub struct SourceFile {
     pub text: String,
 }
 
-/// Lints a set of files under all four rules.
+/// Per-file record of which allow-directive lines suppressed something.
+type UsedDirectives = BTreeMap<String, BTreeSet<usize>>;
+
+/// Lints a set of files under all ten rules.
 pub fn lint_files(files: &[SourceFile]) -> Vec<Finding> {
+    let scrubbed: BTreeMap<String, Vec<Line>> =
+        files.iter().map(|f| (f.rel.clone(), scrub(&f.text))).collect();
+    let mut used: UsedDirectives = BTreeMap::new();
+
     let mut out = Vec::new();
     for f in files {
-        out.extend(lint_source(&f.rel, &f.text));
+        let lines = &scrubbed[&f.rel];
+        let u = used.entry(f.rel.clone()).or_default();
+        out.extend(lint_source_inner(&f.rel, lines, u));
     }
-    out.extend(lint_r4(files));
+    out.extend(lint_r4(files, &scrubbed, &mut used));
+
+    // Workspace-level flow rules: route each raw finding through the allow
+    // machinery of its own file.
+    let raw: Vec<Finding> = flow::lint_flow(files)
+        .into_iter()
+        .chain(wireparity::lint_wire_parity(files))
+        .chain(threads::lint_r9(files))
+        .collect();
+    for finding in raw {
+        match scrubbed.get(&finding.file) {
+            Some(lines) if finding.line >= 1 && finding.line <= lines.len() => {
+                let u = used.entry(finding.file.clone()).or_default();
+                let idx = finding.line - 1;
+                push_finding(&mut out, lines, idx, u, finding);
+            }
+            _ => out.push(finding),
+        }
+    }
+
+    out.extend(lint_r10(files, &scrubbed, &mut used));
     out.sort();
     out
 }
 
 /// Rule R4 over the whole file set: reachability of public `&mut self`
 /// protocol functions from harness/test seeds.
-fn lint_r4(files: &[SourceFile]) -> Vec<Finding> {
+fn lint_r4(
+    files: &[SourceFile],
+    scrubbed: &BTreeMap<String, Vec<Line>>,
+    used: &mut UsedDirectives,
+) -> Vec<Finding> {
     let mut graph: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut seeds: BTreeSet<String> = BTreeSet::new();
-    let mut targets: Vec<(String, usize, String, Vec<Line>)> = Vec::new();
+    let mut targets: Vec<(String, usize, String)> = Vec::new();
 
     for f in files {
-        let lines = scrub(&f.text);
-        let defs = extract_fns(&lines);
+        let lines = &scrubbed[&f.rel];
+        let defs = extract_fns(lines);
         let role = role_of(&f.rel);
         for d in &defs {
             graph.entry(d.name.clone()).or_default().extend(d.callees.iter().cloned());
@@ -427,21 +539,24 @@ fn lint_r4(files: &[SourceFile]) -> Vec<Finding> {
                 && !d.in_test
                 && !d.name.starts_with('_')
             {
-                targets.push((f.rel.clone(), d.line, d.name.clone(), lines.clone()));
+                targets.push((f.rel.clone(), d.line, d.name.clone()));
             }
         }
     }
 
     let live = reachable(&graph, &seeds);
     let mut out = Vec::new();
-    for (rel, line, name, lines) in targets {
+    for (rel, line, name) in targets {
         if !live.contains(&name) {
+            let lines = &scrubbed[&rel];
+            let u = used.entry(rel.clone()).or_default();
             push_finding(
                 &mut out,
-                &lines,
+                lines,
                 line - 1,
+                u,
                 Finding {
-                    file: rel,
+                    file: rel.clone(),
                     line,
                     rule: Rule::R4,
                     message: format!(
@@ -450,6 +565,65 @@ fn lint_r4(files: &[SourceFile]) -> Vec<Finding> {
                     ),
                 },
             );
+        }
+    }
+    out
+}
+
+/// Rule R10: every allow directive must still suppress a live finding and
+/// must name a rule that exists. Runs last, after every other rule has
+/// recorded which directive lines it consulted. Directives are audited in
+/// reverse line order so that an `allow(R10)` placed on a deliberately
+/// retained directive registers as used before its own turn comes.
+fn lint_r10(
+    files: &[SourceFile],
+    scrubbed: &BTreeMap<String, Vec<Line>>,
+    used: &mut UsedDirectives,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let lines = &scrubbed[&f.rel];
+        let directives: Vec<(usize, String)> = lines
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, l)| parse_directive(&l.comment).map(|id| (idx, id.to_string())))
+            .collect();
+        for (idx, id) in directives.into_iter().rev() {
+            let u = used.entry(f.rel.clone()).or_default();
+            if !Rule::ALL.iter().any(|r| r.id() == id) {
+                push_finding(
+                    &mut out,
+                    lines,
+                    idx,
+                    u,
+                    Finding {
+                        file: f.rel.clone(),
+                        line: idx + 1,
+                        rule: Rule::R10,
+                        message: format!(
+                            "allow directive names unknown rule `{id}` — it can never \
+                             suppress anything (known rules: R1–R{})",
+                            Rule::ALL.len()
+                        ),
+                    },
+                );
+            } else if !u.contains(&idx) {
+                push_finding(
+                    &mut out,
+                    lines,
+                    idx,
+                    u,
+                    Finding {
+                        file: f.rel.clone(),
+                        line: idx + 1,
+                        rule: Rule::R10,
+                        message: format!(
+                            "stale `detlint: allow({id})` — it no longer suppresses any \
+                             finding; remove it (or re-justify against a live finding)"
+                        ),
+                    },
+                );
+            }
         }
     }
     out
@@ -800,7 +974,7 @@ impl RepState {
     }
 
     /// The linter must hold on the workspace it ships in: this is the test
-    /// that makes `cargo test -q` enforce R1–R4 forever.
+    /// that makes `cargo test -q` enforce R1–R10 forever.
     #[test]
     fn workspace_is_clean() {
         let findings = lint_workspace(&default_root()).expect("workspace readable");

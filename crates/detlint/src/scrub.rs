@@ -104,6 +104,12 @@ pub fn scrub(src: &str) -> Vec<Line> {
                 let closed = match raw_hashes {
                     None => {
                         if c == '\\' {
+                            // An escaped newline (string continuation) still
+                            // ends the source line; don't swallow it or every
+                            // later finding shifts by one line.
+                            if chars.get(i + 1) == Some(&'\n') {
+                                lines.push(std::mem::take(&mut cur));
+                            }
                             i += 2; // skip the escaped char
                             state = State::Str { raw_hashes, any: true };
                             continue;
@@ -135,15 +141,20 @@ pub fn scrub(src: &str) -> Vec<Line> {
     lines
 }
 
-/// `r"`, `r#"`, `r##"`, … — but not a plain identifier containing `r`.
+/// `r"`, `r#"`, `r##"`, … (and the byte forms `br"`, `br#"`) — but not a
+/// plain identifier containing `r`.
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     // Must not be preceded by an identifier character (e.g. `for r in ..`
-    // is fine either way, but `var"` is not a raw string).
-    if i > 0 {
-        let p = chars[i - 1];
-        if p.is_alphanumeric() || p == '_' {
-            return false;
+    // is fine either way, but `var"` is not a raw string). A single `b`
+    // prefix is the one exception: `br#"…"#` is a raw byte string.
+    let free = |j: usize| {
+        j == 0 || {
+            let p = chars[j - 1];
+            !(p.is_alphanumeric() || p == '_')
         }
+    };
+    if !(free(i) || (chars[i - 1] == 'b' && free(i - 1))) {
+        return false;
     }
     let mut j = i + 1;
     while chars.get(j) == Some(&'#') {
@@ -157,8 +168,10 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
 fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1) {
         Some('\\') => {
-            // Escaped char: scan to the closing quote (handles '\n', '\u{..}').
-            let mut j = i + 2;
+            // Escaped char: skip the escaped character itself, then scan to
+            // the closing quote (handles '\n', '\u{..}' — and '\'' / '\\',
+            // where the escaped character must not be taken as the close).
+            let mut j = i + 3;
             while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
                 j += 1;
             }
@@ -268,5 +281,62 @@ mod tests {
         let l = scrub(src);
         assert!(l[1].in_test && l[2].in_test && l[3].in_test);
         assert!(!l[4].in_test);
+    }
+
+    // ----- edge cases the flow parsers lean on ------------------------
+
+    #[test]
+    fn raw_string_with_hashes_hides_quotes_and_slashes() {
+        let l = scrub("let s = r##\"quote \" and // and \"# inner\"##; tail();");
+        assert!(l[0].code.contains("tail();"));
+        assert!(!l[0].code.contains("quote"));
+        assert!(!l[0].comment.contains("and"));
+    }
+
+    #[test]
+    fn raw_byte_strings_are_one_literal() {
+        let l = scrub("let s = br#\"x \" y\"#; after();");
+        assert!(l[0].code.contains("after();"), "{:?}", l[0].code);
+        assert!(!l[0].code.contains('#'), "{:?}", l[0].code);
+        assert!(!l[0].code.contains('y'), "{:?}", l[0].code);
+    }
+
+    #[test]
+    fn nested_block_comments_unwind_fully() {
+        let src = "a();\n/* outer /* inner */ still comment */ b();\nc();";
+        let l = scrub(src);
+        assert_eq!(l[1].code.trim(), "b();");
+        assert!(l[1].comment.contains("inner"));
+        assert!(l[2].code.contains("c();"));
+    }
+
+    #[test]
+    fn char_literals_holding_quote_and_slashes() {
+        // '"' must not open a string; '/' twice must not start a comment;
+        // '\'' and '\\' must not leak a stray quote into code.
+        let l = scrub("let a = '\"'; let b = '/'; let c = '\\''; let d = '\\\\'; live();");
+        assert!(l[0].code.contains("live();"), "{:?}", l[0].code);
+        assert!(l[0].comment.is_empty());
+        // Each literal collapses to the placeholder, so no quote survives.
+        assert_eq!(l[0].code.matches('"').count(), 0, "{:?}", l[0].code);
+    }
+
+    #[test]
+    fn multi_line_strings_keep_line_numbers() {
+        // A plain newline inside the literal and an escaped continuation
+        // must both preserve the physical line count.
+        let src = "let s = \"first\nsecond\";\nx();\nlet t = \"one\\\ntwo\";\ny();";
+        let l = scrub(src);
+        assert_eq!(l.len(), 6);
+        assert!(l[2].code.contains("x();"));
+        assert!(l[5].code.contains("y();"));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_lose_the_tail() {
+        // Malformed input (mid-edit files) must not panic or shift lines.
+        let l = scrub("let s = \"never closed\nswallowed\n");
+        assert_eq!(l.len(), 2);
+        assert!(l[0].code.contains("let s"));
     }
 }

@@ -1,0 +1,340 @@
+//! Wire-schema parity (rule R8): the `Wire` codec in `crates/net` must
+//! name every variant of every enum it serializes, on both the encode and
+//! the decode side.
+//!
+//! The failure mode this closes is silent: `encode` matches on `self`, so
+//! a new variant without an encode arm is a compile error — but `decode`
+//! matches on a *tag byte* with a `t => Err(BadTag)` catch-all, so a
+//! missing decode arm compiles cleanly and every message of the new kind
+//! is rejected at the far end of a socket. R8 cross-checks each
+//! `impl Wire for E` against `E`'s definition: every variant needs a
+//! reference in the encode body *and* in the decode body, and neither side
+//! may name a variant the enum no longer has.
+
+use std::collections::BTreeSet;
+
+use crate::flow::{extract_enums, EnumDef};
+use crate::scrub::scrub;
+use crate::tok::{is_ident, path_chain, tokenize, Token};
+use crate::{Finding, Rule, SourceFile};
+
+/// Where `Wire` impls live.
+const WIRE_SCOPE: &str = "crates/net/";
+
+/// One `impl Wire for T` block with its per-method variant references.
+#[derive(Clone, Debug)]
+pub struct WireImpl {
+    /// The implementing type's name (generics stripped).
+    pub type_name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// 1-based line of `fn encode` (or the impl line if absent).
+    pub encode_line: usize,
+    /// 1-based line of `fn decode` (or the impl line if absent).
+    pub decode_line: usize,
+    /// `Self::X` / `TypeName::X` variant names referenced in `encode`.
+    pub encode_refs: BTreeSet<String>,
+    /// Same for `decode`.
+    pub decode_refs: BTreeSet<String>,
+}
+
+/// Collects variant names referenced as `Self::X` or `<type>::X` between
+/// token indices `[start, end)`.
+fn self_refs(toks: &[Token], type_name: &str, start: usize, end: usize) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        if !is_ident(&toks[i].text) {
+            i += 1;
+            continue;
+        }
+        let (segs, next) = path_chain(toks, i);
+        if segs.len() >= 2 {
+            let base = segs[segs.len() - 2];
+            let leaf = segs[segs.len() - 1];
+            if (base == "Self" || base == type_name)
+                && leaf.chars().next().is_some_and(|c| c.is_uppercase())
+            {
+                out.insert(leaf.to_string());
+            }
+        }
+        i = next.max(i + 1);
+    }
+    out
+}
+
+/// Returns the index just past the brace group opening at `open` (which
+/// must point at a `{`).
+fn skip_braces(toks: &[Token], open: usize) -> usize {
+    let mut d = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => d += 1,
+            "}" => {
+                d -= 1;
+                if d == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Extracts every `impl … Wire for T { … }` block from one file.
+pub fn extract_wire_impls(rel: &str, source: &str) -> Vec<WireImpl> {
+    let lines = scrub(source);
+    let toks = tokenize(&lines);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "impl" {
+            i += 1;
+            continue;
+        }
+        let impl_line = toks[i].line;
+        // Scan the header to `{`, tracking the last depth-0 ident before
+        // `for` (the trait) and the first ident after it (the type).
+        let mut angle = 0i32;
+        let mut j = i + 1;
+        let mut trait_name: Option<String> = None;
+        let mut type_name: Option<String> = None;
+        let mut seen_for = false;
+        while j < toks.len() {
+            let t = toks[j].text.as_str();
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => break,
+                ";" if angle <= 0 => break, // `impl T {}`-less forms; bail
+                "for" if angle == 0 => seen_for = true,
+                _ if angle == 0 && is_ident(t) => {
+                    if seen_for {
+                        if type_name.is_none() {
+                            type_name = Some(t.to_string());
+                        }
+                    } else {
+                        trait_name = Some(t.to_string());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text != "{" {
+            i += 1;
+            continue;
+        }
+        let body_end = skip_braces(&toks, j);
+        if trait_name.as_deref() != Some("Wire") {
+            i += 1; // scan inside too: impls never nest in this tree
+            continue;
+        }
+        let Some(type_name) = type_name else {
+            // `impl Wire for (A, B)` and friends carry no variants.
+            i = body_end;
+            continue;
+        };
+        // Locate `fn encode` / `fn decode` bodies inside the impl.
+        let mut enc = (impl_line, BTreeSet::new());
+        let mut dec = (impl_line, BTreeSet::new());
+        let mut k = j + 1;
+        while k + 1 < body_end {
+            if toks[k].text == "fn" && is_ident(&toks[k + 1].text) {
+                let fname = toks[k + 1].text.clone();
+                let fline = toks[k].line;
+                // Find the fn body's `{` (signatures can hold `{` only in
+                // default generics, which the codec does not use).
+                let mut m = k + 2;
+                while m < body_end && toks[m].text != "{" && toks[m].text != ";" {
+                    m += 1;
+                }
+                if m < body_end && toks[m].text == "{" {
+                    let fn_end = skip_braces(&toks, m);
+                    let refs = self_refs(&toks, &type_name, m, fn_end);
+                    match fname.as_str() {
+                        "encode" => enc = (fline, refs),
+                        "decode" => dec = (fline, refs),
+                        _ => {}
+                    }
+                    k = fn_end;
+                    continue;
+                }
+            }
+            k += 1;
+        }
+        out.push(WireImpl {
+            type_name,
+            file: rel.to_string(),
+            line: impl_line,
+            encode_line: enc.0,
+            decode_line: dec.0,
+            encode_refs: enc.1,
+            decode_refs: dec.1,
+        });
+        i = body_end;
+    }
+    out
+}
+
+/// All `Wire` impls in the net crate.
+pub fn collect_wire_impls(files: &[SourceFile]) -> Vec<WireImpl> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.rel.starts_with(WIRE_SCOPE) {
+            out.extend(extract_wire_impls(&f.rel, &f.text));
+        }
+    }
+    out
+}
+
+/// All non-test enum definitions in the workspace, for parity lookup.
+pub fn collect_enum_defs(files: &[SourceFile]) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    for f in files {
+        let lines = scrub(&f.text);
+        out.extend(
+            extract_enums(&f.rel, &lines)
+                .into_iter()
+                .filter(|e| !lines[e.line - 1].in_test),
+        );
+    }
+    out
+}
+
+/// Runs R8 over the whole file set. Findings are raw (allow directives are
+/// applied by the caller).
+pub fn lint_wire_parity(files: &[SourceFile]) -> Vec<Finding> {
+    let impls = collect_wire_impls(files);
+    let enums = collect_enum_defs(files);
+    let mut out = Vec::new();
+    for im in &impls {
+        let def = enums.iter().find(|e| e.name == im.type_name);
+        let refs_any = !im.encode_refs.is_empty() || !im.decode_refs.is_empty();
+        let Some(def) = def else {
+            if refs_any {
+                out.push(Finding {
+                    file: im.file.clone(),
+                    line: im.line,
+                    rule: Rule::R8,
+                    message: format!(
+                        "`impl Wire for {}` names variants but no enum of that name \
+                         exists in the workspace — stale codec",
+                        im.type_name
+                    ),
+                });
+            }
+            continue;
+        };
+        if !refs_any {
+            // A struct (or an enum encoded without naming variants, which
+            // the codec style forbids) — parity has nothing to check.
+            if !def.variants.is_empty() {
+                out.push(Finding {
+                    file: im.file.clone(),
+                    line: im.line,
+                    rule: Rule::R8,
+                    message: format!(
+                        "`impl Wire for {}` serializes an enum without naming any \
+                         variant — tag arms must be explicit so R8 can audit them",
+                        im.type_name
+                    ),
+                });
+            }
+            continue;
+        }
+        let variants: BTreeSet<&str> = def.variants.iter().map(|(n, _)| n.as_str()).collect();
+        for v in &variants {
+            if !im.encode_refs.contains(*v) {
+                out.push(Finding {
+                    file: im.file.clone(),
+                    line: im.encode_line,
+                    rule: Rule::R8,
+                    message: format!(
+                        "wire schema drift: `{}::{v}` ({}:{}) has no encode arm",
+                        im.type_name, def.file, def.line
+                    ),
+                });
+            }
+            if !im.decode_refs.contains(*v) {
+                out.push(Finding {
+                    file: im.file.clone(),
+                    line: im.decode_line,
+                    rule: Rule::R8,
+                    message: format!(
+                        "wire schema drift: `{}::{v}` ({}:{}) has no decode arm — \
+                         peers would reject it as BadTag",
+                        im.type_name, def.file, def.line
+                    ),
+                });
+            }
+        }
+        for r in im.encode_refs.union(&im.decode_refs) {
+            if !variants.contains(r.as_str()) {
+                out.push(Finding {
+                    file: im.file.clone(),
+                    line: im.line,
+                    rule: Rule::R8,
+                    message: format!(
+                        "wire schema drift: codec names `{}::{r}` but the enum has no \
+                         such variant",
+                        im.type_name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(rel: &str, text: &str) -> SourceFile {
+        SourceFile { rel: rel.to_string(), text: text.to_string() }
+    }
+
+    const ENUM_DEF: &str = "pub enum TinyMsg { A, B(u8) }\n";
+
+    #[test]
+    fn parity_holds_for_a_complete_codec() {
+        let codec = "impl Wire for TinyMsg {\n  fn encode(&self, out: &mut Vec<u8>) {\n    match self {\n      TinyMsg::A => out.push(0),\n      TinyMsg::B(x) => { out.push(1); x.encode(out); }\n    }\n  }\n  fn decode(r: &mut WireReader) -> Result<Self, CodecError> {\n    Ok(match r.u8()? {\n      0 => Self::A,\n      1 => Self::B(u8::decode(r)?),\n      _t => return Err(CodecError::BadTag),\n    })\n  }\n}\n";
+        let files = [sf("crates/core/src/msg.rs", ENUM_DEF), sf("crates/net/src/wire.rs", codec)];
+        assert!(lint_wire_parity(&files).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_is_flagged_at_the_decode_fn() {
+        let codec = "impl Wire for TinyMsg {\n  fn encode(&self, out: &mut Vec<u8>) {\n    match self {\n      TinyMsg::A => out.push(0),\n      TinyMsg::B(x) => { out.push(1); x.encode(out); }\n    }\n  }\n  fn decode(r: &mut WireReader) -> Result<Self, CodecError> {\n    Ok(match r.u8()? {\n      0 => Self::A,\n      _t => return Err(CodecError::BadTag),\n    })\n  }\n}\n";
+        let files = [sf("crates/core/src/msg.rs", ENUM_DEF), sf("crates/net/src/wire.rs", codec)];
+        let f = lint_wire_parity(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::R8);
+        assert_eq!(f[0].line, 8); // the `fn decode` line
+        assert!(f[0].message.contains("TinyMsg::B"));
+    }
+
+    #[test]
+    fn codec_arm_for_removed_variant_is_flagged() {
+        let codec = "impl Wire for TinyMsg {\n  fn encode(&self, out: &mut Vec<u8>) {\n    match self { TinyMsg::A => out.push(0), TinyMsg::B(_) => out.push(1), TinyMsg::Gone => out.push(2) }\n  }\n  fn decode(r: &mut WireReader) -> Result<Self, CodecError> {\n    Ok(match r.u8()? { 0 => Self::A, 1 => Self::B(0), 2 => Self::Gone, _ => return Err(CodecError::BadTag) })\n  }\n}\n";
+        let files = [sf("crates/core/src/msg.rs", ENUM_DEF), sf("crates/net/src/wire.rs", codec)];
+        let f = lint_wire_parity(&files);
+        assert!(f.iter().any(|x| x.message.contains("no such variant")), "{f:?}");
+    }
+
+    #[test]
+    fn struct_impls_are_exempt() {
+        let codec = "impl Wire for Pid {\n  fn encode(&self, out: &mut Vec<u8>) { self.0.encode(out) }\n  fn decode(r: &mut WireReader) -> Result<Self, CodecError> { Ok(Pid(u32::decode(r)?)) }\n}\nimpl<A: Wire, B: Wire> Wire for (A, B) {\n  fn encode(&self, out: &mut Vec<u8>) { self.0.encode(out); self.1.encode(out) }\n  fn decode(r: &mut WireReader) -> Result<Self, CodecError> { Ok((A::decode(r)?, B::decode(r)?)) }\n}\n";
+        let files = [
+            sf("crates/core/src/ids.rs", "pub struct Pid(pub u32);\n"),
+            sf("crates/net/src/wire.rs", codec),
+        ];
+        assert!(lint_wire_parity(&files).is_empty());
+    }
+}

@@ -230,7 +230,19 @@ impl<B: LargeApp> HierApp<B> {
                     );
                 }
             }
-            _ => up.bump("hier.ctl.unhandled_leader"),
+            // Leader-emitted and leaf-internal control traffic is never
+            // addressed to the leader role; enumerate it (rather than `_`)
+            // so a new CtlMsg variant forces a routing decision here, and
+            // count the drops so misrouting is observable.
+            CtlMsg::JoinAssign { .. }
+            | CtlMsg::JoinCreateLeaf { .. }
+            | CtlMsg::JoinLargeDenied { .. }
+            | CtlMsg::HierPush { .. }
+            | CtlMsg::SplitLeaf { .. }
+            | CtlMsg::DoSplit { .. }
+            | CtlMsg::DissolveLeaf { .. }
+            | CtlMsg::DoDissolve { .. }
+            | CtlMsg::LeafBeacon { .. } => up.bump("hier.ctl.unhandled_leader"),
         }
     }
 

@@ -122,7 +122,7 @@ impl Application for NameService {
         _from: Pid,
         _kind: CastKind,
         payload: &NameMsg,
-        _up: &mut Uplink<'_, '_, Self>,
+        up: &mut Uplink<'_, '_, Self>,
     ) {
         match payload {
             NameMsg::Bind {
@@ -136,7 +136,11 @@ impl Application for NameService {
             NameMsg::Unbind { name } => {
                 self.table.remove(name);
             }
-            _ => {}
+            // Request/reply traffic travels point-to-point, never through
+            // the replicated cast stream; count rather than drop silently.
+            NameMsg::Resolve { .. } | NameMsg::Resolved { .. } => {
+                up.bump("name.misrouted_cast");
+            }
         }
     }
 
@@ -154,7 +158,11 @@ impl Application for NameService {
             NameMsg::Resolved { ticket, entry } => {
                 self.answers.insert(*ticket, entry.clone());
             }
-            _ => {}
+            // Replicated table updates only arrive via the ABCAST stream;
+            // a direct Bind/Unbind is a protocol error worth counting.
+            NameMsg::Bind { .. } | NameMsg::Unbind { .. } => {
+                up.bump("name.misrouted_direct");
+            }
         }
     }
 
@@ -271,6 +279,31 @@ mod tests {
         for &s in &srv[1..] {
             assert!(sim.process(s).app().table().is_empty());
         }
+    }
+
+    #[test]
+    fn misrouted_traffic_is_counted_not_dropped_silently() {
+        let (mut sim, srv) = servers(2, 11);
+        // Request/reply payloads pushed through the replicated cast
+        // stream land in the misrouted_cast counter...
+        sim.invoke(srv[0], move |p, ctx| {
+            p.with_app(ctx, |app, up| {
+                let gid = app.group.expect("view installed");
+                up.cast(gid, CastKind::Total, NameMsg::Resolve { name: "x".into(), ticket: 1 });
+            });
+        });
+        // ...and replicated table updates sent point-to-point land in
+        // misrouted_direct, without touching the table.
+        let target = srv[1];
+        sim.invoke(srv[0], move |p, ctx| {
+            p.with_app(ctx, |_app, up| {
+                up.direct(target, NameMsg::Unbind { name: "x".into() });
+            });
+        });
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.stats().counter("name.misrouted_cast"), 2); // both servers deliver the cast
+        assert_eq!(sim.stats().counter("name.misrouted_direct"), 1);
+        assert!(sim.process(srv[1]).app().table().is_empty());
     }
 
     #[test]

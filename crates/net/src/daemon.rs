@@ -15,6 +15,12 @@
 //!   dialing with exponential backoff and reconnecting (with a fresh
 //!   `Hello`) whenever the peer drops.
 //!
+//! This shape — one owning core, message-passing satellites, shared
+//! flags only as `Arc`-wrapped atomics — is a lintable contract: detlint
+//! rule R9 bans locks and interior-mutability cells across `crates/net`,
+//! so cross-thread mutable state cannot flow outside the channels and
+//! declared atomics you see in this file.
+//!
 //! The core implements [`Transport`]: a `Send` to a pid hosted here is a
 //! local queue push; a `Send` to a remote pid is one encoded frame on the
 //! destination daemon's writer channel. Timers are a `BTreeMap` keyed by

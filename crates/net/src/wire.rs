@@ -10,6 +10,12 @@
 //! Decoding never panics: every claim in the input (lengths, tags,
 //! sequence counts) is validated against the remaining bytes and yields
 //! [`CodecError`] on mismatch — socket input is untrusted.
+//!
+//! The `decode` tag matches end in a `BadTag` catch-all, so a variant
+//! added to a protocol enum without a decode arm *compiles* and only
+//! fails against a live peer. detlint rule R8 closes that gap: it
+//! cross-checks the variants named by every `encode`/`decode` pair here
+//! against the enum definitions, and any drift fails the lint.
 
 use now_sim::Pid;
 

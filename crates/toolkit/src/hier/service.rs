@@ -617,7 +617,17 @@ impl LargeApp for LeafServiceApp {
                     }
                 }
             }
-            _ => up.bump("tool.hsvc.misrouted_cast"),
+            // Request/reply, 2PC coordination and lock traffic travel
+            // point-to-point (see `on_direct`); enumerate them so a new
+            // HSvcMsg variant forces a routing decision here.
+            HSvcMsg::Request { .. }
+            | HSvcMsg::Reply { .. }
+            | HSvcMsg::Prepare { .. }
+            | HSvcMsg::Vote { .. }
+            | HSvcMsg::Decide { .. }
+            | HSvcMsg::MAcquire { .. }
+            | HSvcMsg::MRelease { .. }
+            | HSvcMsg::MGrant { .. } => up.bump("tool.hsvc.misrouted_cast"),
         }
     }
 
