@@ -14,7 +14,11 @@
 #      hierarchy over unix sockets, replays short E1/E9 runs, and the merged
 #      trace must show zero virtual-synchrony violations (non-zero exit
 #      otherwise),
-#   7. the determinism linter, emitting its machine-readable report.
+#   7. chaos sweep: replay the shrunk-counterexample regression corpus, then
+#      1000 generated adversarial scenarios (correlated crashes, partition
+#      flaps, storms, rep-chain kills) with the monitors armed as oracles —
+#      any violation fails the gate; the coverage census lands in artifacts,
+#   8. the determinism linter, emitting its machine-readable report.
 # Fails on the first broken step or on any non-allowlisted lint finding.
 # Artifacts land in BENCH_artifacts/.
 set -euo pipefail
@@ -47,6 +51,11 @@ cargo run --quiet --release -p now-trace --bin tracectl -- \
 echo "==> now-cluster loopback smoke (real sockets, monitors on merged trace)"
 cargo run --quiet --release -p now-net --bin now-cluster -- smoke \
     | tee BENCH_artifacts/now_cluster_smoke.txt
+
+echo "==> chaos sweep (1000 adversarial scenarios, monitors armed)"
+cargo run --quiet --release -p now-chaos --bin chaos_sweep -- \
+    --scenarios 1000 --seed 1 --census BENCH_artifacts/chaos_census.json \
+    | tee BENCH_artifacts/chaos_sweep.txt
 
 echo "==> cargo run -p detlint -- --json"
 cargo run --quiet -p detlint -- --json | tee BENCH_artifacts/detlint.json

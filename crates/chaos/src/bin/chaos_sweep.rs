@@ -1,0 +1,172 @@
+//! The sweep driver: replay the regression corpus, fuzz N fresh
+//! scenarios round-robin across the families, shrink anything that
+//! violates, and emit a coverage census.
+//!
+//! ```text
+//! chaos_sweep [--scenarios N] [--seed S] [--census FILE] [--corpus DIR]
+//!             [--shrink-iters K] [--save-findings] [--sabotage]
+//! ```
+//!
+//! Exit status is non-zero iff any monitor violation was observed —
+//! `ci.sh` gates the build on it. Output is deterministic for a fixed
+//! seed, so two CI runs of the same tree produce identical logs.
+//!
+//! `--sabotage` arms the seeded divergent-`ViewInstall` fault
+//! ([`Sabotage::DivergentViewOnLeaderCrash`]): the sweep is then *expected*
+//! to fail, which demonstrates the find → shrink → save pipeline live and
+//! regenerates the checked-in corpus entry.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use now_chaos::census::Census;
+use now_chaos::corpus;
+use now_chaos::gen::{generate, FAMILIES};
+use now_chaos::run::{run_scenario, Sabotage};
+use now_chaos::scenario::Scenario;
+use now_chaos::shrink::{shrink, ShrinkBudget};
+
+struct Args {
+    scenarios: u64,
+    seed: u64,
+    census: Option<PathBuf>,
+    corpus: PathBuf,
+    shrink_iters: u32,
+    save_findings: bool,
+    sabotage: Sabotage,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenarios: 200,
+        seed: 1,
+        census: None,
+        corpus: corpus::default_dir(),
+        shrink_iters: ShrinkBudget::DEFAULT_ITERS,
+        save_findings: false,
+        sabotage: Sabotage::None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--scenarios" => {
+                args.scenarios = val("--scenarios").parse().expect("--scenarios: not a number")
+            }
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: not a number"),
+            "--census" => args.census = Some(PathBuf::from(val("--census"))),
+            "--corpus" => args.corpus = PathBuf::from(val("--corpus")),
+            "--shrink-iters" => {
+                args.shrink_iters = val("--shrink-iters")
+                    .parse()
+                    .expect("--shrink-iters: not a number")
+            }
+            "--save-findings" => args.save_findings = true,
+            "--sabotage" => args.sabotage = Sabotage::DivergentViewOnLeaderCrash,
+            other => panic!("unknown flag {other:?} (see the module docs)"),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut census = Census::new();
+    let mut failures = 0u64;
+
+    // 1. The regression corpus: every checked-in counterexample encodes a
+    // bug that is supposed to be fixed — it must replay clean.
+    let corpus_entries = corpus::load_dir(&args.corpus).expect("corpus loads");
+    for (name, sc) in &corpus_entries {
+        let rep = run_scenario(sc, Sabotage::None).expect("corpus scenario resolves");
+        census.absorb(&format!("corpus:{name}"), &rep);
+        if rep.is_clean() {
+            println!("corpus {name}: clean ({} steps)", sc.len());
+        } else {
+            failures += 1;
+            println!("corpus {name}: REGRESSION — {}", describe(&rep.violations[0]));
+        }
+    }
+
+    // 2. Fresh scenarios, round-robin across families so every family gets
+    // an equal slice regardless of the total.
+    for i in 0..args.scenarios {
+        let family = FAMILIES[(i % FAMILIES.len() as u64) as usize];
+        let index = i / FAMILIES.len() as u64;
+        let sc = generate(family, index, args.seed);
+        let rep = run_scenario(&sc, args.sabotage).expect("generated scenario resolves");
+        census.absorb(family, &rep);
+        if !rep.is_clean() {
+            failures += 1;
+            report_finding(&sc, family, index, &args);
+        }
+        if (i + 1) % 100 == 0 {
+            println!("… {}/{} scenarios, {failures} violations", i + 1, args.scenarios);
+        }
+    }
+
+    // 3. Census artifact + summary.
+    if let Some(path) = &args.census {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("census dir");
+        }
+        std::fs::write(path, census.to_json()).expect("census write");
+        println!("census written to {}", path.display());
+    }
+    print!("{}", census.summary());
+    println!(
+        "chaos sweep: {} corpus replays, {} scenarios, {failures} violations",
+        corpus_entries.len(),
+        args.scenarios
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints a violating scenario's report, shrinks it, and optionally saves
+/// the shrunk counterexample into the corpus directory.
+fn report_finding(sc: &Scenario, family: &str, index: u64, args: &Args) {
+    println!("VIOLATION in {family}#{index} (seed {}):", args.seed);
+    let rep = run_scenario(sc, args.sabotage).expect("resolves");
+    for v in &rep.violations {
+        println!("  {}", describe(v));
+    }
+    let budget = ShrinkBudget::new(args.shrink_iters);
+    let shrunk = shrink(sc, budget, |cand| {
+        run_scenario(cand, args.sabotage).is_ok_and(|r| !r.is_clean())
+    });
+    println!(
+        "  shrunk {} -> {} steps in {} re-runs; minimal reproduction:",
+        shrunk.original_len,
+        shrunk.scenario.len(),
+        shrunk.iters_used
+    );
+    for line in shrunk.scenario.to_text().lines() {
+        println!("    {line}");
+    }
+    if args.save_findings {
+        let name = format!("{family}-{index}-seed{}", args.seed);
+        let provenance = format!(
+            "found by chaos_sweep --seed {} ({family}#{index}); shrunk {} -> {} steps",
+            args.seed,
+            shrunk.original_len,
+            shrunk.scenario.len()
+        );
+        let path = corpus::save(&args.corpus, &name, &shrunk.scenario, &provenance)
+            .expect("corpus save");
+        println!("  saved to {}", path.display());
+    }
+}
+
+fn describe(v: &now_trace::Violation) -> String {
+    format!(
+        "{} at t={} (seq {}): pids {:?} — {}",
+        v.monitor, v.at, v.seq, v.pids, v.detail
+    )
+}

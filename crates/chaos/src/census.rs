@@ -1,0 +1,171 @@
+//! Coverage census: which trace event kinds each scenario family actually
+//! exercises.
+//!
+//! A fuzzer that only ever tickles `NET_SEND` is not testing the
+//! interesting machinery; the census makes the sweep's coverage visible
+//! and machine-checkable. Counts are aggregated per family across a sweep
+//! and exported as JSON (hand-rolled — the workspace is dependency-free)
+//! for `BENCH_artifacts/`.
+
+use std::collections::BTreeMap;
+
+use crate::run::RunReport;
+
+/// Aggregated event-kind counts, per scenario family.
+#[derive(Clone, Debug, Default)]
+pub struct Census {
+    families: BTreeMap<String, BTreeMap<&'static str, u64>>,
+    scenarios: u64,
+}
+
+impl Census {
+    /// An empty census.
+    pub fn new() -> Census {
+        Census::default()
+    }
+
+    /// Folds one run's per-kind counts into the family's totals.
+    pub fn absorb(&mut self, family: &str, report: &RunReport) {
+        let slot = self.families.entry(family.to_string()).or_default();
+        for (kind, n) in &report.census {
+            *slot.entry(kind).or_insert(0) += n;
+        }
+        self.scenarios += 1;
+    }
+
+    /// Scenarios absorbed so far.
+    pub fn scenarios(&self) -> u64 {
+        self.scenarios
+    }
+
+    /// Event kinds a family exercised at least once.
+    pub fn kinds_of(&self, family: &str) -> Vec<&'static str> {
+        self.families
+            .get(family)
+            .map(|m| m.iter().filter(|(_, &n)| n > 0).map(|(k, _)| *k).collect())
+            .unwrap_or_default()
+    }
+
+    /// Event kinds exercised by *no* family — blind spots worth new
+    /// scenario families.
+    pub fn unexercised(&self, all_kinds: &[&'static str]) -> Vec<&'static str> {
+        all_kinds
+            .iter()
+            .filter(|k| {
+                !self
+                    .families
+                    .values()
+                    .any(|m| m.get(*k).copied().unwrap_or(0) > 0)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Serialises to JSON: `{"scenarios": N, "families": {name: {KIND: n}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scenarios\": {},\n", self.scenarios));
+        out.push_str("  \"families\": {\n");
+        let nf = self.families.len();
+        for (i, (family, kinds)) in self.families.iter().enumerate() {
+            out.push_str(&format!("    {}: {{", json_str(family)));
+            let nk = kinds.len();
+            for (j, (kind, n)) in kinds.iter().enumerate() {
+                out.push_str(&format!("{}: {}", json_str(kind), n));
+                if j + 1 < nk {
+                    out.push_str(", ");
+                }
+            }
+            out.push('}');
+            if i + 1 < nf {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// A terse per-family coverage table for the sweep's stdout summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (family, kinds) in &self.families {
+            let exercised = kinds.values().filter(|&&n| n > 0).count();
+            let events: u64 = kinds.values().sum();
+            out.push_str(&format!(
+                "{family}: {exercised} event kinds, {events} events\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (keys here are identifiers, but corpus
+/// details may carry arbitrary text).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn fake_report(counts: &[(&'static str, u64)]) -> RunReport {
+        RunReport {
+            violations: Vec::new(),
+            census: counts.iter().copied().collect::<BTreeMap<_, _>>(),
+            ops_applied: 1,
+            ops_total: 1,
+        }
+    }
+
+    #[test]
+    fn absorbs_and_aggregates_per_family() {
+        let mut c = Census::new();
+        c.absorb("flap", &fake_report(&[("VIEW_INSTALL", 2), ("NET_SEND", 10)]));
+        c.absorb("flap", &fake_report(&[("VIEW_INSTALL", 3)]));
+        c.absorb("storm", &fake_report(&[("LBCAST_SUBMIT", 7)]));
+        assert_eq!(c.scenarios(), 3);
+        assert_eq!(c.kinds_of("flap"), vec!["NET_SEND", "VIEW_INSTALL"]);
+        assert_eq!(
+            c.unexercised(&["VIEW_INSTALL", "LBCAST_SUBMIT", "GROUP_STALL"]),
+            vec!["GROUP_STALL"]
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_eyeball() {
+        let mut c = Census::new();
+        c.absorb("flap", &fake_report(&[("VIEW_INSTALL", 5)]));
+        let j = c.to_json();
+        assert!(j.contains("\"scenarios\": 1"));
+        assert!(j.contains("\"flap\": {\"VIEW_INSTALL\": 5}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn summary_lists_each_family() {
+        let mut c = Census::new();
+        c.absorb("flap", &fake_report(&[("VIEW_INSTALL", 5), ("NET_SEND", 1)]));
+        assert_eq!(c.summary(), "flap: 2 event kinds, 6 events\n");
+    }
+}

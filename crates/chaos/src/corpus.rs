@@ -1,0 +1,117 @@
+//! The regression corpus: shrunk counterexamples checked in as `.scn`
+//! files and replayed by CI on every run.
+//!
+//! A corpus file is the scenario text format (see
+//! [`Scenario::to_text`](crate::scenario::Scenario::to_text)) preceded by
+//! `#` provenance comments. Files are replayed in filename order so the
+//! corpus run is deterministic.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scenario::Scenario;
+
+/// Loads every `*.scn` under `dir`, sorted by filename. A missing
+/// directory is an empty corpus, not an error; an unparsable file is.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Scenario)>> {
+    let mut files: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let sc = Scenario::parse(&text).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corpus file {} does not parse", path.display()),
+            )
+        })?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        out.push((name, sc));
+    }
+    Ok(out)
+}
+
+/// Writes `sc` as `dir/<name>.scn` with a provenance header. Creates the
+/// directory as needed; returns the path written.
+pub fn save(dir: &Path, name: &str, sc: &Scenario, provenance: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.scn"));
+    let mut body = String::new();
+    for line in provenance.lines() {
+        body.push_str("# ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body.push_str(&sc.to_text());
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// The in-tree corpus directory, resolved relative to this crate so tests
+/// and the sweep binary agree regardless of working directory.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn save_then_load_round_trips_with_provenance() {
+        let dir = std::env::temp_dir().join("now-chaos-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        let a = generate("leader-flap", 0, 5);
+        let b = generate("churn-mix", 1, 5);
+        save(&dir, "b-second", &b, "found by sweep seed=5\nshrunk 5 -> 2 steps")
+            .expect("save");
+        save(&dir, "a-first", &a, "prov").expect("save");
+        let loaded = load_dir(&dir).expect("load");
+        // Filename order, not insertion order.
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "a-first");
+        assert_eq!(loaded[0].1, a);
+        assert_eq!(loaded[1].1, b);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("now-chaos-no-such-dir");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load_dir(&dir).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn unparsable_corpus_file_is_an_error() {
+        let dir = std::env::temp_dir().join("now-chaos-bad-corpus");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("bad.scn"), "scenario nonsense").expect("write");
+        assert!(load_dir(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checked_in_corpus_parses() {
+        // Whatever ships in crates/chaos/corpus must always load.
+        let corpus = load_dir(&default_dir()).expect("in-tree corpus loads");
+        for (name, sc) in &corpus {
+            assert!(!sc.is_empty(), "{name} is empty");
+            sc.schedule().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Executes one scenario against the isis-hier stack with the now-trace
+//! virtual-synchrony monitors armed as oracles.
+//!
+//! The runner builds a real `LargeCluster` (with `IsisConfig::
+//! partition_safe()` — without the primary-partition rule a split network
+//! would *legitimately* diverge and VS-PRIM would be meaningless), arms a
+//! recording tracer once formation is complete, then walks the scenario's
+//! resolved schedule applying each fault. Targets are resolved against the
+//! live cluster at fire time, so `rootrep` means "whoever holds the role
+//! *now*" — a rep-chain-kill really does chase successive takeovers.
+//!
+//! The monitors run in fail-fast style: after each applied operation the
+//! runner checks for accumulated violations and stops injecting further
+//! hostility, so a counterexample's report points at the first offending
+//! op rather than the pile-up after it.
+//!
+//! [`Sabotage`] is the seeded-bug hook for the end-to-end pipeline test:
+//! with `DivergentViewOnLeaderCrash`, the crash of a leader-group member
+//! additionally forges a divergent `ViewInstall` into the trace — the kind
+//! of protocol bug the monitors exist to catch — so tests can prove
+//! fuzzer → violation → shrinker → regression replay without leaving a
+//! real bug in the tree.
+
+use std::collections::BTreeMap;
+
+use now_sim::{failure, DetRng, NodeId, Partition, Pid, SimConfig, SimDuration, SimTime};
+use now_trace::{EventKind, Tracer, Violation, ViolationMode};
+
+use isis_core::IsisConfig;
+use isis_hier::config::LargeGroupConfig;
+use isis_hier::harness::{large_cluster_with, LargeCluster};
+
+use crate::scenario::{Fault, Scenario, ScheduleError, Target};
+
+/// Optional seeded protocol fault, used to prove the pipeline end-to-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// Run the stack as-is (the CI sweep).
+    #[default]
+    None,
+    /// When a live leader-group member is crashed by a `crash` step, forge
+    /// a `ViewInstall` that diverges from the genuine one (same group and
+    /// view id, different membership, reported by pid 4242). VS-VIEW must
+    /// flag it; if it does not, the oracle pipeline is broken.
+    DivergentViewOnLeaderCrash,
+}
+
+/// What one scenario execution produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Monitor violations, in detection order (empty on a clean run).
+    pub violations: Vec<Violation>,
+    /// Trace event census: event-kind name → occurrences.
+    pub census: BTreeMap<&'static str, u64>,
+    /// Operations applied before the run finished or failed fast.
+    pub ops_applied: usize,
+    /// Total operations the scenario expanded to.
+    pub ops_total: usize,
+}
+
+impl RunReport {
+    /// Whether the monitors stayed silent.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One expanded, concrete operation on the timeline.
+#[derive(Clone, Debug)]
+enum Op {
+    Crash(Target),
+    Flap { cell: Vec<Target>, period_us: u64, flaps: u32 },
+    Lbcast { origin: Target, tag: u32 },
+    Heal,
+}
+
+/// Runs `sc` and reports what the monitors saw.
+///
+/// # Errors
+///
+/// Returns the scenario's [`ScheduleError`] when its DAG cannot resolve.
+pub fn run_scenario(sc: &Scenario, sabotage: Sabotage) -> Result<RunReport, ScheduleError> {
+    let ops = expand(sc)?;
+    let mut c = build_cluster(sc);
+
+    // Arm the oracles only once the group is formed: formation itself is
+    // covered by the harness asserts, and an unarmed formation keeps the
+    // hostile phase's trace focused on the faults.
+    c.sim.set_tracer(
+        Tracer::new()
+            .with_monitors(ViolationMode::Record)
+            .retain_all(),
+    );
+
+    let t0 = c.sim.now();
+    let mut rng = DetRng::seed_from_u64(sc.seed ^ 0x6368_616f_735f_7278);
+    let mut ops_applied = 0;
+    let mut sabotaged = false;
+    for (at_us, op) in &ops {
+        c.run_until(t0 + SimDuration::from_micros(*at_us));
+        apply(&mut c, op, &mut rng, sabotage, &mut sabotaged);
+        ops_applied += 1;
+        if c.sim.tracer().is_some_and(|t| !t.violations().is_empty()) {
+            break; // fail fast: stop injecting, report the first offender
+        }
+    }
+
+    // Settle: heal everything and give the stack time to reconverge with
+    // the monitors still watching — late divergence is still a violation.
+    c.sim.set_partition(Partition::connected());
+    let last = ops.last().map_or(0, |(t, _)| *t);
+    let end = t0 + SimDuration::from_micros(sc.horizon_us.max(last));
+    c.run_until(end);
+    c.run_for(SimDuration::from_secs(3));
+
+    let tracer = c.sim.take_tracer().unwrap_or_default();
+    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in tracer.events() {
+        *census.entry(ev.kind.name()).or_insert(0) += 1;
+    }
+    Ok(RunReport {
+        violations: tracer.violations().to_vec(),
+        census,
+        ops_applied,
+        ops_total: ops.len(),
+    })
+}
+
+/// Expands the resolved step DAG into concrete timed operations, using the
+/// `now_sim::failure` schedule helpers (jitter-free, so the expansion is a
+/// pure function of the scenario).
+fn expand(sc: &Scenario) -> Result<Vec<(u64, Op)>, ScheduleError> {
+    let mut ops: Vec<(u64, Op)> = Vec::new();
+    for (start, step) in sc.schedule()? {
+        match &step.fault {
+            Fault::Crash { target } => ops.push((start, Op::Crash(*target))),
+            Fault::CorrelatedCrash { targets, spread_us } => {
+                let k = targets.len() as u64;
+                for (i, t) in targets.iter().enumerate() {
+                    // Evenly spread across the window; a single target
+                    // crashes at the window start.
+                    let dt = if k > 1 { spread_us * i as u64 / (k - 1) } else { 0 };
+                    ops.push((start + dt, Op::Crash(*t)));
+                }
+            }
+            Fault::PartitionFlap { cell, period_us, flaps } => ops.push((
+                start,
+                Op::Flap { cell: cell.clone(), period_us: *period_us, flaps: *flaps },
+            )),
+            Fault::Storm { origin, msgs, gap_us } => {
+                let mut rng = DetRng::seed_from_u64(sc.seed ^ step.id as u64);
+                let times = failure::storm_times(
+                    *msgs,
+                    SimTime(start),
+                    SimDuration::from_micros(*gap_us),
+                    SimDuration::ZERO,
+                    &mut rng,
+                );
+                for (i, t) in times.iter().enumerate() {
+                    ops.push((t.0, Op::Lbcast { origin: *origin, tag: i as u32 }));
+                }
+            }
+            Fault::Heal => ops.push((start, Op::Heal)),
+        }
+    }
+    ops.sort_by_key(|(t, _)| *t);
+    Ok(ops)
+}
+
+fn build_cluster(sc: &Scenario) -> LargeCluster {
+    let r = (sc.resiliency as usize).max(1);
+    let max_leaf = (sc.max_leaf as usize).max(2);
+    let min_leaf = 2.min(max_leaf);
+    let cfg = LargeGroupConfig::new(r, max_leaf.max(r)).with_leaf_band(min_leaf, max_leaf);
+    large_cluster_with(
+        sc.members as usize,
+        cfg,
+        IsisConfig::partition_safe(),
+        SimConfig::ideal(sc.seed),
+    )
+}
+
+fn apply(
+    c: &mut LargeCluster,
+    op: &Op,
+    rng: &mut DetRng,
+    sabotage: Sabotage,
+    sabotaged: &mut bool,
+) {
+    match op {
+        Op::Crash(target) => {
+            for pid in resolve(c, *target) {
+                let was_leader = c.leaders.contains(&pid) && c.sim.is_alive(pid);
+                c.sim.crash(pid);
+                if was_leader
+                    && sabotage == Sabotage::DivergentViewOnLeaderCrash
+                    && !*sabotaged
+                {
+                    forge_divergent_view(c);
+                    *sabotaged = true;
+                }
+            }
+        }
+        Op::Flap { cell, period_us, flaps } => {
+            let nodes: Vec<NodeId> = resolve_many(c, cell)
+                .into_iter()
+                .map(|p| c.sim.node_of(p))
+                .collect();
+            if nodes.is_empty() {
+                return;
+            }
+            let now = c.sim.now();
+            let plan = failure::partition_flaps(
+                &nodes,
+                now,
+                SimDuration::from_micros((*period_us).max(1)),
+                SimDuration::ZERO,
+                (*flaps).max(1),
+                rng,
+            );
+            for p in plan {
+                c.sim.schedule_partition(p.at, p.partition);
+            }
+        }
+        Op::Lbcast { origin, tag } => {
+            if let Some(pid) = resolve(c, *origin).first().copied() {
+                let _ = c.lbcast(pid, &format!("storm-{tag}"));
+            }
+        }
+        Op::Heal => c.sim.set_partition(Partition::connected()),
+    }
+}
+
+/// Resolves a role to the pids it denotes *right now*; dead or unresolvable
+/// roles resolve to nothing and the op is skipped.
+fn resolve(c: &LargeCluster, t: Target) -> Vec<Pid> {
+    let live_members = c.live_members();
+    let live_leaders: Vec<Pid> = c
+        .leaders
+        .iter()
+        .copied()
+        .filter(|&l| c.sim.is_alive(l))
+        .collect();
+    match t {
+        Target::Member(i) => pick(&live_members, i),
+        Target::Leader(i) => pick(&live_leaders, i),
+        Target::RootRep => c
+            .root_rep()
+            .filter(|&p| c.sim.is_alive(p))
+            .map(|p| vec![p])
+            .unwrap_or_else(|| pick(&live_leaders, 0)),
+        Target::LeafOf(i) => {
+            let Some(&m) = live_members.get(i as usize % live_members.len().max(1)) else {
+                return Vec::new();
+            };
+            let Some(leaf) = c.sim.process(m).app().leaf_of(c.lgid) else {
+                return vec![m];
+            };
+            live_members
+                .iter()
+                .copied()
+                .filter(|&p| c.sim.process(p).app().leaf_of(c.lgid) == Some(leaf))
+                .collect()
+        }
+    }
+}
+
+fn resolve_many(c: &LargeCluster, ts: &[Target]) -> Vec<Pid> {
+    let mut out: Vec<Pid> = ts.iter().flat_map(|&t| resolve(c, t)).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn pick(pool: &[Pid], i: u32) -> Vec<Pid> {
+    if pool.is_empty() {
+        Vec::new()
+    } else {
+        vec![pool[i as usize % pool.len()]]
+    }
+}
+
+/// The seeded bug: a `ViewInstall` that disagrees with a genuine install
+/// about the membership of the same (group, view). Derived from the last
+/// real install when one was observed since arming, otherwise a synthetic
+/// pair on a group of its own — either way VS-VIEW must flag pid 4242.
+fn forge_divergent_view(c: &mut LargeCluster) {
+    let Some(tracer) = c.sim.tracer_mut() else { return };
+    let last_install = tracer
+        .events()
+        .into_iter()
+        .rev()
+        .find(|ev| matches!(ev.kind, EventKind::ViewInstall { .. }));
+    match last_install {
+        Some(ev) => {
+            if let EventKind::ViewInstall { gid, view, mut members, .. } = ev.kind {
+                members.push(4242);
+                tracer.inject(
+                    ev.at + 1,
+                    4242,
+                    Some(ev.seq),
+                    EventKind::ViewInstall { gid, view, members, joined: false },
+                );
+            }
+        }
+        None => {
+            let at = 1;
+            let base = tracer.inject(
+                at,
+                4241,
+                None,
+                EventKind::ViewInstall {
+                    gid: 999_999,
+                    view: 1,
+                    members: vec![4241, 4242],
+                    joined: true,
+                },
+            );
+            tracer.inject(
+                at + 1,
+                4242,
+                Some(base),
+                EventKind::ViewInstall {
+                    gid: 999_999,
+                    view: 1,
+                    members: vec![4241, 4242, 4243],
+                    joined: true,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Step;
+
+    fn tiny(seed: u64, steps: Vec<Step>) -> Scenario {
+        Scenario {
+            family: "test".into(),
+            seed,
+            members: 5,
+            resiliency: 2,
+            max_leaf: 3,
+            horizon_us: 2_000_000,
+            steps,
+        }
+    }
+
+    #[test]
+    fn clean_scenario_produces_no_violations_and_a_census() {
+        let sc = tiny(
+            11,
+            vec![
+                Step {
+                    id: 0,
+                    after: vec![],
+                    at_us: 100_000,
+                    fault: Fault::Storm { origin: Target::Member(0), msgs: 5, gap_us: 10_000 },
+                },
+                Step {
+                    id: 1,
+                    after: vec![0],
+                    at_us: 0,
+                    fault: Fault::Crash { target: Target::Member(2) },
+                },
+            ],
+        );
+        let rep = run_scenario(&sc, Sabotage::None).expect("resolves");
+        assert!(rep.is_clean(), "violations: {:?}", rep.violations);
+        assert_eq!(rep.ops_applied, rep.ops_total);
+        // The storm's broadcasts show up in the census.
+        assert!(rep.census.get("LBCAST_SUBMIT").copied().unwrap_or(0) >= 5);
+        assert!(rep.census.get("NET_DELIVER").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let sc = tiny(
+            23,
+            vec![Step {
+                id: 0,
+                after: vec![],
+                at_us: 50_000,
+                fault: Fault::PartitionFlap {
+                    cell: vec![Target::Member(1)],
+                    period_us: 200_000,
+                    flaps: 2,
+                },
+            }],
+        );
+        let a = run_scenario(&sc, Sabotage::None).expect("resolves");
+        let b = run_scenario(&sc, Sabotage::None).expect("resolves");
+        assert_eq!(a.census, b.census, "same scenario+seed must replay identically");
+        assert_eq!(a.violations.len(), b.violations.len());
+    }
+
+    #[test]
+    fn sabotage_trips_the_view_monitor_with_the_offender_named() {
+        let sc = tiny(
+            7,
+            vec![Step {
+                id: 0,
+                after: vec![],
+                at_us: 100_000,
+                fault: Fault::Crash { target: Target::Leader(1) },
+            }],
+        );
+        let rep = run_scenario(&sc, Sabotage::DivergentViewOnLeaderCrash).expect("resolves");
+        assert!(!rep.is_clean(), "the seeded divergence must be caught");
+        let v = &rep.violations[0];
+        assert_eq!(v.monitor, "VS-VIEW");
+        assert_eq!(v.pids.first().copied(), Some(4242), "offender named first");
+        // And the identical scenario without the seeded bug is clean.
+        let clean = run_scenario(&sc, Sabotage::None).expect("resolves");
+        assert!(clean.is_clean(), "violations: {:?}", clean.violations);
+    }
+}

@@ -1,0 +1,522 @@
+//! The scenario model: a composable graph (DAG) of timed fault tasks.
+//!
+//! A [`Scenario`] describes one hostile run: the cluster shape, the
+//! hostility horizon, and a set of [`Step`]s. Each step carries a
+//! [`Fault`] primitive, an earliest start offset, and `after` edges naming
+//! steps that must *finish* before it may begin — so correlated
+//! compositions ("crash the new rep right after the flap heals", "storm
+//! while the split is open") are expressed structurally instead of by
+//! hand-tuned absolute times. [`Scenario::schedule`] resolves the DAG into
+//! absolute start offsets and rejects unknown or cyclic dependencies.
+//!
+//! Targets are *roles*, not pids: `rootrep` resolves to whoever is the
+//! root representative when the fault fires, `leafof:N` to the current
+//! leaf co-members of member N. Role resolution at execution time is what
+//! keeps a scenario meaningful after the shrinker drops steps — the
+//! surviving steps still name live roles.
+//!
+//! Scenarios serialise to a line-based text format (see
+//! [`Scenario::to_text`]) so shrunk counterexamples can be checked in as a
+//! replayable regression corpus.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Who a fault targets; resolved against the live cluster when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// The `i`-th ordinary member, modulo the current live membership.
+    Member(u32),
+    /// The `i`-th leader-group member, modulo the live leaders.
+    Leader(u32),
+    /// Whoever is acting as root representative at fire time.
+    RootRep,
+    /// Every live member currently sharing a leaf with member `i`
+    /// (the correlated-crash scope: one workstation rack, one leaf).
+    LeafOf(u32),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Member(i) => write!(f, "member:{i}"),
+            Target::Leader(i) => write!(f, "leader:{i}"),
+            Target::RootRep => write!(f, "rootrep"),
+            Target::LeafOf(i) => write!(f, "leafof:{i}"),
+        }
+    }
+}
+
+impl Target {
+    /// Parses the `Display` form back.
+    pub fn parse(s: &str) -> Option<Target> {
+        if s == "rootrep" {
+            return Some(Target::RootRep);
+        }
+        let (kind, idx) = s.split_once(':')?;
+        let i: u32 = idx.parse().ok()?;
+        match kind {
+            "member" => Some(Target::Member(i)),
+            "leader" => Some(Target::Leader(i)),
+            "leafof" => Some(Target::LeafOf(i)),
+            _ => None,
+        }
+    }
+}
+
+/// One fault primitive — the adversary's vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash the resolved target (instantaneous).
+    Crash {
+        /// Who dies.
+        target: Target,
+    },
+    /// Correlated crashes: every resolved target dies within `spread_us`,
+    /// evenly spaced (a rack power failure, a bad kernel push to one leaf).
+    CorrelatedCrash {
+        /// Who dies, in order.
+        targets: Vec<Target>,
+        /// Window over which the crashes land, in simulated microseconds.
+        spread_us: u64,
+    },
+    /// A flapping partition: the targets' workstations are split off and
+    /// re-healed `flaps` times, each phase lasting `period_us`. Always ends
+    /// healed.
+    PartitionFlap {
+        /// Roles whose nodes form the minority cell.
+        cell: Vec<Target>,
+        /// Phase length in simulated microseconds.
+        period_us: u64,
+        /// Number of split/heal cycles.
+        flaps: u32,
+    },
+    /// A message storm: `msgs` large-group broadcasts submitted by the
+    /// origin, `gap_us` apart (traffic burst during whatever else is
+    /// happening — splits, merges, takeovers).
+    Storm {
+        /// Who floods.
+        origin: Target,
+        /// Number of broadcasts.
+        msgs: u32,
+        /// Spacing in simulated microseconds.
+        gap_us: u64,
+    },
+    /// Heal all partitions immediately.
+    Heal,
+}
+
+impl Fault {
+    /// How long the fault occupies the timeline, in microseconds — the DAG
+    /// uses `start + duration` as the step's end for `after` edges.
+    pub fn duration_us(&self) -> u64 {
+        match self {
+            Fault::Crash { .. } | Fault::Heal => 0,
+            Fault::CorrelatedCrash { spread_us, .. } => *spread_us,
+            Fault::PartitionFlap { period_us, flaps, .. } => {
+                2 * u64::from(*flaps) * *period_us
+            }
+            Fault::Storm { msgs, gap_us, .. } => u64::from(msgs.saturating_sub(1)) * *gap_us,
+        }
+    }
+
+    /// Short kind tag used in the text format and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Crash { .. } => "crash",
+            Fault::CorrelatedCrash { .. } => "corr",
+            Fault::PartitionFlap { .. } => "flap",
+            Fault::Storm { .. } => "storm",
+            Fault::Heal => "heal",
+        }
+    }
+}
+
+/// One node of the scenario DAG: a fault, an earliest start, and the steps
+/// that must end before it begins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// Stable id, referenced by `after` edges (unique within a scenario).
+    pub id: u32,
+    /// Ids of steps that must *end* before this one starts.
+    pub after: Vec<u32>,
+    /// Earliest start, in microseconds after hostility begins.
+    pub at_us: u64,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A complete adversarial scenario: cluster shape + fault DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Generator family name (or `corpus` for checked-in reproductions).
+    pub family: String,
+    /// Simulation seed: same scenario + same seed = byte-identical run.
+    pub seed: u64,
+    /// Ordinary member count.
+    pub members: u32,
+    /// Leader-group size / broadcast resiliency.
+    pub resiliency: u32,
+    /// Maximum leaf size before a split.
+    pub max_leaf: u32,
+    /// Hostility window in microseconds; the runner settles afterwards.
+    pub horizon_us: u64,
+    /// The fault DAG.
+    pub steps: Vec<Step>,
+}
+
+/// Why a scenario's DAG failed to resolve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Two steps share an id.
+    DuplicateId(u32),
+    /// An `after` edge names a step that does not exist.
+    UnknownDep { step: u32, dep: u32 },
+    /// The `after` edges contain a cycle through this step.
+    Cycle(u32),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::DuplicateId(id) => write!(f, "duplicate step id {id}"),
+            ScheduleError::UnknownDep { step, dep } => {
+                write!(f, "step {step} depends on unknown step {dep}")
+            }
+            ScheduleError::Cycle(id) => write!(f, "dependency cycle through step {id}"),
+        }
+    }
+}
+
+impl Scenario {
+    /// Number of steps — the "schedule length" the shrinker minimises.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the scenario has no steps at all.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Resolves the DAG into `(start_us, step)` pairs sorted by start time
+    /// (ties broken by step id, so execution order is deterministic).
+    ///
+    /// A step starts at `max(at_us, max over deps of dep_start + dep
+    /// duration)`; the result's last end never exceeds the scenario's
+    /// effective horizon (the runner extends the run if the DAG pushes past
+    /// `horizon_us`).
+    pub fn schedule(&self) -> Result<Vec<(u64, Step)>, ScheduleError> {
+        let mut by_id: BTreeMap<u32, &Step> = BTreeMap::new();
+        for s in &self.steps {
+            if by_id.insert(s.id, s).is_some() {
+                return Err(ScheduleError::DuplicateId(s.id));
+            }
+        }
+        for s in &self.steps {
+            for &d in &s.after {
+                if !by_id.contains_key(&d) {
+                    return Err(ScheduleError::UnknownDep { step: s.id, dep: d });
+                }
+            }
+        }
+        // Iterative DFS-free resolution: repeatedly settle steps whose deps
+        // are all resolved. Bounded by |steps| rounds; leftover = cycle.
+        let mut start: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut remaining: BTreeSet<u32> = by_id.keys().copied().collect();
+        loop {
+            let mut settled = Vec::new();
+            for &id in &remaining {
+                let s = by_id[&id];
+                if s.after.iter().all(|d| start.contains_key(d)) {
+                    let dep_floor = s
+                        .after
+                        .iter()
+                        .map(|d| start[d] + by_id[d].fault.duration_us())
+                        .max()
+                        .unwrap_or(0);
+                    settled.push((id, s.at_us.max(dep_floor)));
+                }
+            }
+            if settled.is_empty() {
+                break;
+            }
+            for (id, t) in settled {
+                start.insert(id, t);
+                remaining.remove(&id);
+            }
+        }
+        if let Some(&id) = remaining.iter().next() {
+            return Err(ScheduleError::Cycle(id));
+        }
+        let mut out: Vec<(u64, Step)> = self
+            .steps
+            .iter()
+            .map(|s| (start[&s.id], s.clone()))
+            .collect();
+        out.sort_by_key(|(t, s)| (*t, s.id));
+        Ok(out)
+    }
+
+    /// The end of the latest-finishing step, per the resolved schedule.
+    pub fn last_end_us(&self) -> u64 {
+        self.schedule()
+            .map(|sched| {
+                sched
+                    .iter()
+                    .map(|(t, s)| t + s.fault.duration_us())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(self.horizon_us)
+    }
+
+    /// Serialises to the corpus text format:
+    ///
+    /// ```text
+    /// scenario family=leader-flap seed=9 members=6 resiliency=2 max_leaf=3 horizon=4000000
+    /// step id=0 at=100000 after=- crash target=leader:0
+    /// step id=1 at=0 after=0 flap cell=member:1,member:4 period=50000 flaps=4
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "scenario family={} seed={} members={} resiliency={} max_leaf={} horizon={}\n",
+            self.family, self.seed, self.members, self.resiliency, self.max_leaf, self.horizon_us
+        );
+        for s in &self.steps {
+            let after = if s.after.is_empty() {
+                "-".to_string()
+            } else {
+                s.after
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!("step id={} at={} after={} ", s.id, s.at_us, after));
+            match &s.fault {
+                Fault::Crash { target } => out.push_str(&format!("crash target={target}")),
+                Fault::CorrelatedCrash { targets, spread_us } => out.push_str(&format!(
+                    "corr targets={} spread={spread_us}",
+                    targets.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+                )),
+                Fault::PartitionFlap { cell, period_us, flaps } => out.push_str(&format!(
+                    "flap cell={} period={period_us} flaps={flaps}",
+                    cell.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+                )),
+                Fault::Storm { origin, msgs, gap_us } => {
+                    out.push_str(&format!("storm origin={origin} msgs={msgs} gap={gap_us}"))
+                }
+                Fault::Heal => out.push_str("heal"),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format; `#`-prefixed and blank lines are comments.
+    /// Returns `None` on any malformation.
+    pub fn parse(text: &str) -> Option<Scenario> {
+        let mut sc: Option<Scenario> = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next()? {
+                "scenario" => {
+                    let f = kv_map(words)?;
+                    sc = Some(Scenario {
+                        family: f.get("family")?.to_string(),
+                        seed: num(&f, "seed")?,
+                        members: num(&f, "members")?,
+                        resiliency: num(&f, "resiliency")?,
+                        max_leaf: num(&f, "max_leaf")?,
+                        horizon_us: num(&f, "horizon")?,
+                        steps: Vec::new(),
+                    });
+                }
+                "step" => {
+                    // `step id=.. at=.. after=.. <kind> <kind args>`: split
+                    // the fixed head from the fault tail on the kind word.
+                    let rest: Vec<&str> = words.collect();
+                    let head: Vec<&str> =
+                        rest.iter().take_while(|w| w.contains('=')).copied().collect();
+                    let tail = &rest[head.len()..];
+                    let h = kv_map(head.into_iter())?;
+                    let kind = tail.first()?;
+                    let fargs = kv_map(tail[1..].iter().copied())?;
+                    let fault = match *kind {
+                        "crash" => Fault::Crash { target: Target::parse(fargs.get("target")?)? },
+                        "corr" => Fault::CorrelatedCrash {
+                            targets: target_list(fargs.get("targets")?)?,
+                            spread_us: num(&fargs, "spread")?,
+                        },
+                        "flap" => Fault::PartitionFlap {
+                            cell: target_list(fargs.get("cell")?)?,
+                            period_us: num(&fargs, "period")?,
+                            flaps: num(&fargs, "flaps")?,
+                        },
+                        "storm" => Fault::Storm {
+                            origin: Target::parse(fargs.get("origin")?)?,
+                            msgs: num(&fargs, "msgs")?,
+                            gap_us: num(&fargs, "gap")?,
+                        },
+                        "heal" => Fault::Heal,
+                        _ => return None,
+                    };
+                    let after = match *h.get("after")? {
+                        "-" => Vec::new(),
+                        a => a
+                            .split(',')
+                            .map(|x| x.parse().ok())
+                            .collect::<Option<Vec<u32>>>()?,
+                    };
+                    sc.as_mut()?.steps.push(Step {
+                        id: num(&h, "id")?,
+                        after,
+                        at_us: num(&h, "at")?,
+                        fault,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        let sc = sc?;
+        // A corpus file with an unresolvable DAG is rejected at parse time.
+        sc.schedule().ok()?;
+        Some(sc)
+    }
+}
+
+fn kv_map<'a>(words: impl Iterator<Item = &'a str>) -> Option<BTreeMap<&'a str, &'a str>> {
+    let mut m = BTreeMap::new();
+    for w in words {
+        let (k, v) = w.split_once('=')?;
+        m.insert(k, v);
+    }
+    Some(m)
+}
+
+fn num<T: std::str::FromStr>(f: &BTreeMap<&str, &str>, k: &str) -> Option<T> {
+    f.get(k)?.parse().ok()
+}
+
+fn target_list(s: &str) -> Option<Vec<Target>> {
+    s.split(',').map(Target::parse).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Scenario {
+        Scenario {
+            family: "demo".into(),
+            seed: 7,
+            members: 6,
+            resiliency: 2,
+            max_leaf: 3,
+            horizon_us: 4_000_000,
+            steps: vec![
+                Step {
+                    id: 0,
+                    after: vec![],
+                    at_us: 100_000,
+                    fault: Fault::Storm { origin: Target::Member(1), msgs: 10, gap_us: 1_000 },
+                },
+                Step {
+                    id: 1,
+                    after: vec![0],
+                    at_us: 0,
+                    fault: Fault::Crash { target: Target::RootRep },
+                },
+                Step {
+                    id: 2,
+                    after: vec![0, 1],
+                    at_us: 50_000,
+                    fault: Fault::PartitionFlap {
+                        cell: vec![Target::Leader(0), Target::Member(2)],
+                        period_us: 40_000,
+                        flaps: 3,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dag_resolves_after_edges_to_dep_ends() {
+        let sched = demo().schedule().expect("acyclic");
+        let t: BTreeMap<u32, u64> = sched.iter().map(|(t, s)| (s.id, *t)).collect();
+        assert_eq!(t[&0], 100_000);
+        // Step 1 waits for the storm's end: 100_000 + 9 * 1_000.
+        assert_eq!(t[&1], 109_000);
+        // Step 2's own floor (50_000) is dominated by its deps.
+        assert_eq!(t[&2], 109_000);
+        // Sorted by (time, id).
+        let order: Vec<u32> = sched.iter().map(|(_, s)| s.id).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(demo().last_end_us(), 109_000 + 2 * 3 * 40_000);
+    }
+
+    #[test]
+    fn dag_rejects_cycles_unknown_deps_and_dup_ids() {
+        let mut sc = demo();
+        sc.steps[0].after = vec![2];
+        assert!(matches!(sc.schedule(), Err(ScheduleError::Cycle(_))));
+        let mut sc = demo();
+        sc.steps[1].after = vec![99];
+        assert_eq!(
+            sc.schedule(),
+            Err(ScheduleError::UnknownDep { step: 1, dep: 99 })
+        );
+        let mut sc = demo();
+        sc.steps[2].id = 0;
+        assert_eq!(sc.schedule(), Err(ScheduleError::DuplicateId(0)));
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let sc = demo();
+        let text = sc.to_text();
+        let back = Scenario::parse(&text).expect("parses");
+        assert_eq!(back, sc);
+        // Comments and blank lines are tolerated.
+        let commented = format!("# provenance note\n\n{text}");
+        assert_eq!(Scenario::parse(&commented).expect("parses"), sc);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Scenario::parse("nonsense").is_none());
+        assert!(Scenario::parse("scenario family=x seed=1").is_none(), "missing fields");
+        let sc = demo();
+        let bad = sc.to_text().replace("rootrep", "president");
+        assert!(Scenario::parse(&bad).is_none());
+        // A cyclic corpus file is rejected at parse time.
+        let mut cyc = demo();
+        cyc.steps[0].after = vec![2];
+        assert!(Scenario::parse(&cyc.to_text()).is_none());
+    }
+
+    #[test]
+    fn fault_durations() {
+        assert_eq!(Fault::Crash { target: Target::Member(0) }.duration_us(), 0);
+        assert_eq!(Fault::Heal.duration_us(), 0);
+        assert_eq!(
+            Fault::CorrelatedCrash { targets: vec![Target::Member(0)], spread_us: 500 }
+                .duration_us(),
+            500
+        );
+        assert_eq!(
+            Fault::PartitionFlap { cell: vec![], period_us: 10, flaps: 4 }.duration_us(),
+            80
+        );
+        assert_eq!(
+            Fault::Storm { origin: Target::Member(0), msgs: 5, gap_us: 100 }.duration_us(),
+            400
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Scenario-level delta debugging: minimise a violating schedule while the
+//! violation persists.
+//!
+//! The shrinker is generic over the oracle — a closure that re-runs a
+//! candidate and reports whether it *still fails*. Candidates come in
+//! three escalating gentleness tiers: drop a whole step (fixing up
+//! dangling `after` edges), weaken a fault (fewer correlated targets,
+//! fewer flaps, fewer storm messages), and shorten durations (halve start
+//! offsets, periods, gaps, spreads). A candidate is kept iff the oracle
+//! still reports the violation; passes repeat until a fixpoint or the
+//! budget runs out, so the result is locally minimal within budget.
+//!
+//! The budget honours `now_sim::detprop::ProptestConfig::max_shrink_iters`
+//! via the [`From`] impl — the knob that `detprop` itself accepts but
+//! (documentedly) never uses, because detprop does no value-level
+//! shrinking. Here every oracle re-run consumes one iteration.
+
+use now_sim::detprop::ProptestConfig;
+
+use crate::scenario::{Fault, Scenario};
+
+/// Re-run budget for one shrink session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShrinkBudget {
+    /// Maximum number of oracle re-runs.
+    pub max_iters: u32,
+}
+
+impl ShrinkBudget {
+    /// The default budget when none is configured (`max_shrink_iters: 0`).
+    pub const DEFAULT_ITERS: u32 = 256;
+
+    /// A budget of exactly `max_iters` re-runs.
+    pub fn new(max_iters: u32) -> ShrinkBudget {
+        ShrinkBudget { max_iters }
+    }
+}
+
+impl Default for ShrinkBudget {
+    fn default() -> ShrinkBudget {
+        ShrinkBudget::new(ShrinkBudget::DEFAULT_ITERS)
+    }
+}
+
+impl From<&ProptestConfig> for ShrinkBudget {
+    /// `max_shrink_iters` taken at face value; `0` (the detprop default)
+    /// means "use this shrinker's default budget".
+    fn from(cfg: &ProptestConfig) -> ShrinkBudget {
+        if cfg.max_shrink_iters == 0 {
+            ShrinkBudget::default()
+        } else {
+            ShrinkBudget::new(cfg.max_shrink_iters)
+        }
+    }
+}
+
+/// Outcome of a shrink session.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The minimised scenario (still failing per the oracle).
+    pub scenario: Scenario,
+    /// Oracle re-runs consumed.
+    pub iters_used: u32,
+    /// Step count before shrinking.
+    pub original_len: usize,
+}
+
+impl ShrinkReport {
+    /// `shrunk steps / original steps`, the reduction the pipeline test
+    /// asserts on (≤ 0.25 for the seeded bug).
+    pub fn reduction(&self) -> f64 {
+        if self.original_len == 0 {
+            1.0
+        } else {
+            self.scenario.len() as f64 / self.original_len as f64
+        }
+    }
+}
+
+/// Minimises `sc` under `oracle` (which must return `true` while the
+/// violation persists). `sc` itself is assumed failing; the result is the
+/// smallest variant found that still fails.
+pub fn shrink(
+    sc: &Scenario,
+    budget: ShrinkBudget,
+    mut oracle: impl FnMut(&Scenario) -> bool,
+) -> ShrinkReport {
+    let original_len = sc.len();
+    let mut current = sc.clone();
+    let mut iters = 0u32;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if iters >= budget.max_iters {
+                return ShrinkReport { scenario: current, iters_used: iters, original_len };
+            }
+            iters += 1;
+            if oracle(&cand) {
+                current = cand;
+                improved = true;
+                break; // restart candidate enumeration from the smaller base
+            }
+        }
+        if !improved {
+            return ShrinkReport { scenario: current, iters_used: iters, original_len };
+        }
+    }
+}
+
+/// All one-mutation simplifications of `sc`, most aggressive first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // Tier 1: drop each step outright.
+    for drop_id in sc.steps.iter().map(|s| s.id).collect::<Vec<_>>() {
+        let mut c = sc.clone();
+        c.steps.retain(|s| s.id != drop_id);
+        for s in &mut c.steps {
+            s.after.retain(|&d| d != drop_id);
+        }
+        if !c.is_empty() {
+            out.push(c);
+        }
+    }
+    // Tier 2: weaken each fault in place.
+    for (i, step) in sc.steps.iter().enumerate() {
+        for weakened in weaken(&step.fault) {
+            let mut c = sc.clone();
+            c.steps[i].fault = weakened;
+            out.push(c);
+        }
+    }
+    // Tier 3: shorten — halve the step's start offset.
+    for (i, step) in sc.steps.iter().enumerate() {
+        if step.at_us > 0 {
+            let mut c = sc.clone();
+            c.steps[i].at_us /= 2;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Strictly-weaker variants of one fault (empty when already minimal).
+fn weaken(f: &Fault) -> Vec<Fault> {
+    match f {
+        Fault::Crash { .. } | Fault::Heal => Vec::new(),
+        Fault::CorrelatedCrash { targets, spread_us } => {
+            let mut out = Vec::new();
+            if targets.len() > 1 {
+                out.push(Fault::CorrelatedCrash {
+                    targets: targets[..targets.len() - 1].to_vec(),
+                    spread_us: *spread_us,
+                });
+            }
+            if *spread_us > 0 {
+                out.push(Fault::CorrelatedCrash {
+                    targets: targets.clone(),
+                    spread_us: spread_us / 2,
+                });
+            }
+            out
+        }
+        Fault::PartitionFlap { cell, period_us, flaps } => {
+            let mut out = Vec::new();
+            if *flaps > 1 {
+                out.push(Fault::PartitionFlap {
+                    cell: cell.clone(),
+                    period_us: *period_us,
+                    flaps: flaps / 2,
+                });
+            }
+            if cell.len() > 1 {
+                out.push(Fault::PartitionFlap {
+                    cell: cell[..cell.len() - 1].to_vec(),
+                    period_us: *period_us,
+                    flaps: *flaps,
+                });
+            }
+            if *period_us > 1_000 {
+                out.push(Fault::PartitionFlap {
+                    cell: cell.clone(),
+                    period_us: period_us / 2,
+                    flaps: *flaps,
+                });
+            }
+            out
+        }
+        Fault::Storm { origin, msgs, gap_us } => {
+            let mut out = Vec::new();
+            if *msgs > 1 {
+                out.push(Fault::Storm { origin: *origin, msgs: msgs / 2, gap_us: *gap_us });
+            }
+            if *gap_us > 1_000 {
+                out.push(Fault::Storm { origin: *origin, msgs: *msgs, gap_us: gap_us / 2 });
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Step, Target};
+
+    /// A scenario with one load-bearing step (the crash of member 0) and a
+    /// pile of irrelevant decoration.
+    fn noisy() -> Scenario {
+        let mut steps = vec![Step {
+            id: 0,
+            after: vec![],
+            at_us: 400_000,
+            fault: Fault::Crash { target: Target::Member(0) },
+        }];
+        for id in 1..8u32 {
+            steps.push(Step {
+                id,
+                after: if id > 4 { vec![id - 4] } else { vec![] },
+                at_us: u64::from(id) * 100_000,
+                fault: Fault::Storm {
+                    origin: Target::Member(id),
+                    msgs: 8,
+                    gap_us: 20_000,
+                },
+            });
+        }
+        Scenario {
+            family: "noisy".into(),
+            seed: 1,
+            members: 8,
+            resiliency: 2,
+            max_leaf: 3,
+            horizon_us: 2_000_000,
+            steps,
+        }
+    }
+
+    /// Oracle: "fails" iff a crash of member 0 is still present.
+    fn crash_of_member0(sc: &Scenario) -> bool {
+        sc.steps.iter().any(|s| {
+            matches!(s.fault, Fault::Crash { target: Target::Member(0) })
+        })
+    }
+
+    #[test]
+    fn shrinks_to_the_load_bearing_step() {
+        let sc = noisy();
+        let rep = shrink(&sc, ShrinkBudget::default(), crash_of_member0);
+        assert_eq!(rep.scenario.len(), 1, "only the crash survives");
+        assert!(crash_of_member0(&rep.scenario));
+        assert!(rep.reduction() <= 0.25, "reduction {}", rep.reduction());
+        // Duration shortening applies to the survivor too.
+        assert!(rep.scenario.steps[0].at_us < 400_000);
+        // The result still resolves and round-trips.
+        rep.scenario.schedule().expect("resolves");
+        assert_eq!(
+            Scenario::parse(&rep.scenario.to_text()).expect("parses"),
+            rep.scenario
+        );
+    }
+
+    #[test]
+    fn dropping_a_dep_fixes_up_after_edges() {
+        let sc = noisy();
+        // Every candidate must resolve: dangling `after` refs would be a
+        // ScheduleError.
+        for c in candidates(&sc) {
+            c.schedule().expect("candidate resolves");
+        }
+    }
+
+    #[test]
+    fn budget_is_honoured_and_reported() {
+        let sc = noisy();
+        let rep = shrink(&sc, ShrinkBudget::new(3), crash_of_member0);
+        assert!(rep.iters_used <= 3);
+        assert!(!rep.scenario.is_empty());
+    }
+
+    #[test]
+    fn budget_comes_from_proptest_config() {
+        let cfg = ProptestConfig { cases: 1, max_shrink_iters: 7 };
+        assert_eq!(ShrinkBudget::from(&cfg), ShrinkBudget::new(7));
+        // The detprop default (0) maps to this shrinker's default.
+        assert_eq!(
+            ShrinkBudget::from(&ProptestConfig::default()),
+            ShrinkBudget::default()
+        );
+    }
+
+    #[test]
+    fn weakening_never_strengthens() {
+        let storm = Fault::Storm { origin: Target::Member(0), msgs: 8, gap_us: 10_000 };
+        for w in weaken(&storm) {
+            if let Fault::Storm { msgs, gap_us, .. } = w {
+                assert!(msgs <= 8 && gap_us <= 10_000);
+                assert!(msgs < 8 || gap_us < 10_000);
+            }
+        }
+        assert!(weaken(&Fault::Heal).is_empty());
+    }
+}

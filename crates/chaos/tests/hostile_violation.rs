@@ -1,0 +1,151 @@
+//! `now_trace::monitor::Violation` under injected hostility.
+//!
+//! Extends the `trace_inject.rs` acceptance probe from a quiet cluster to
+//! an actively hostile one: the network is flapping (via the seeded
+//! `now_sim::failure::partition_flaps` schedule) while a divergent
+//! `ViewInstall` is forged mid-turbulence. The monitors must stay silent
+//! about the *legitimate* turbulence, catch the forgery, name the
+//! offending pids, and hand back a causal excerpt that survives the noise.
+
+use isis_core::IsisConfig;
+use isis_hier::config::LargeGroupConfig;
+use isis_hier::harness::large_cluster_with;
+use now_sim::{failure, DetRng, NodeId, SimConfig, SimDuration};
+use now_trace::{EventKind, Tracer, ViolationMode};
+
+use now_chaos::run::{run_scenario, Sabotage};
+use now_chaos::scenario::{Fault, Scenario, Step, Target};
+
+#[test]
+fn forged_install_during_partition_flaps_yields_an_excerpted_violation() {
+    let mut c = large_cluster_with(
+        6,
+        LargeGroupConfig::new(2, 4).with_leaf_band(2, 3),
+        IsisConfig::partition_safe(),
+        SimConfig::ideal(137),
+    );
+    c.sim.set_tracer(
+        Tracer::new()
+            .with_monitors(ViolationMode::Record)
+            .retain_all(),
+    );
+
+    // Hostility: a seeded flap schedule isolating one member's node.
+    let minority: Vec<NodeId> = vec![c.sim.node_of(c.members[1])];
+    let mut rng = DetRng::seed_from_u64(137);
+    // Phases must outlast the failure detectors, or the flap is invisible
+    // to the membership layer and no view ever changes.
+    let plan = failure::partition_flaps(
+        &minority,
+        c.sim.now() + SimDuration::from_millis(50),
+        SimDuration::from_millis(2_500),
+        SimDuration::from_millis(100),
+        2,
+        &mut rng,
+    );
+    assert!(plan.last().is_some_and(|p| p.partition.is_healed()));
+    for p in plan {
+        c.sim.schedule_partition(p.at, p.partition);
+    }
+    // Traffic through the turbulence, then reconvergence.
+    let origin = c.members[0];
+    c.lbcast(origin, "mid-flap");
+    c.run_for(SimDuration::from_secs(6));
+    c.lbcast(origin, "post-heal");
+    c.run_for(SimDuration::from_secs(6));
+
+    let tracer = c.sim.tracer_mut().expect("tracer attached");
+    assert!(
+        tracer.violations().is_empty(),
+        "legitimate flapping must not trip the monitors: {:?}",
+        tracer.violations()
+    );
+
+    // Mid-hostility forgery: divergent membership for an agreed view.
+    let install = tracer
+        .events()
+        .into_iter()
+        .rev()
+        .find(|e| matches!(e.kind, EventKind::ViewInstall { .. }))
+        .expect("the flap caused traced view changes");
+    let EventKind::ViewInstall { gid, view, members, .. } = install.kind.clone() else {
+        unreachable!("matched ViewInstall above");
+    };
+    let mut forged = members;
+    forged.push(4242);
+    tracer.inject(
+        install.at + 1,
+        4242,
+        Some(install.seq),
+        EventKind::ViewInstall { gid, view, members: forged, joined: false },
+    );
+
+    let v = tracer
+        .violations()
+        .iter()
+        .find(|v| v.monitor == "VS-VIEW")
+        .expect("forged install caught despite ambient turbulence");
+    assert_eq!(v.pids[0], 4242, "offender named first");
+    assert!(v.pids.len() >= 2, "an agreeing installer is co-named");
+    assert!(
+        v.detail.contains("4242"),
+        "detail names the offender: {}",
+        v.detail
+    );
+    assert!(
+        v.excerpt.iter().any(|e| e.seq == install.seq),
+        "excerpt reaches back to the genuine install"
+    );
+    assert!(
+        v.excerpt.last().is_some_and(|e| e.pid == 4242),
+        "excerpt ends at the offending event"
+    );
+}
+
+#[test]
+fn scenario_level_flap_with_sabotage_names_offenders_end_to_end() {
+    // The same property through the full chaos pipeline: a flap scenario
+    // plus a leader crash, with the seeded divergence armed. The violation
+    // that comes back out of `run_scenario` carries the offender pids and
+    // a non-empty excerpt — no manual tracer handling anywhere.
+    let sc = Scenario {
+        family: "flap-sabotage".into(),
+        seed: 61,
+        members: 6,
+        resiliency: 2,
+        max_leaf: 3,
+        horizon_us: 2_500_000,
+        steps: vec![
+            Step {
+                id: 0,
+                after: vec![],
+                at_us: 100_000,
+                fault: Fault::PartitionFlap {
+                    cell: vec![Target::Member(2)],
+                    period_us: 250_000,
+                    flaps: 2,
+                },
+            },
+            Step {
+                id: 1,
+                after: vec![0],
+                at_us: 0,
+                fault: Fault::Crash { target: Target::Leader(0) },
+            },
+        ],
+    };
+    let rep = run_scenario(&sc, Sabotage::DivergentViewOnLeaderCrash).expect("resolves");
+    assert!(!rep.is_clean(), "seeded divergence under flap must be caught");
+    let v = &rep.violations[0];
+    assert_eq!(v.monitor, "VS-VIEW");
+    assert_eq!(v.pids.first().copied(), Some(4242), "offender named first");
+    assert!(!v.excerpt.is_empty(), "violation carries its causal excerpt");
+    assert!(
+        v.excerpt.last().is_some_and(|e| e.pid == 4242),
+        "excerpt ends at the offending event"
+    );
+
+    // And without the sabotage the identical hostile scenario is clean.
+    let clean = run_scenario(&sc, Sabotage::None).expect("resolves");
+    assert!(clean.is_clean(), "got {:?}", clean.violations);
+}

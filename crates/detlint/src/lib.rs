@@ -8,10 +8,11 @@
 //! `cargo test` enforces them forever. See DESIGN.md, "Determinism rules".
 //!
 //! Rules:
-//! - **R1** — no `HashMap`/`HashSet` in non-test code of the simulator and
-//!   protocol crates (`sim`, `core`, `hier`, `toolkit`): unordered
-//!   containers make iteration order depend on `RandomState`, which leaks
-//!   into message emission order and view contents.
+//! - **R1** — no `HashMap`/`HashSet` in non-test code of the simulator,
+//!   protocol, and fuzzer crates (`sim`, `core`, `hier`, `toolkit`,
+//!   `chaos`): unordered containers make iteration order depend on
+//!   `RandomState`, which leaks into message emission order, view
+//!   contents, and scenario expansion order.
 //! - **R2** — no wall-clock reads (`SystemTime`, `Instant`), OS threads
 //!   (`thread::spawn`) or ambient RNG (`thread_rng`, `from_entropy`,
 //!   `OsRng`, `rand::random`) anywhere under those crates, tests included:
@@ -182,24 +183,29 @@ fn role_of(rel: &str) -> FileRole {
 
 /// Crates whose *source* must use ordered containers (R1) and avoid
 /// panicking protocol paths (R3 applies to the protocol subset).
-const R1_SCOPE: [&str; 5] = [
+const R1_SCOPE: [&str; 6] = [
     "crates/trace/src/",
     "crates/sim/src/",
     "crates/core/src/",
     "crates/hier/src/",
     "crates/toolkit/src/",
+    "crates/chaos/src/",
 ];
 
 /// Crates where ambient nondeterminism is banned everywhere, tests included.
 /// Note `crates/net` is deliberately absent: the real transport backend is
 /// the one crate allowed to read wall clocks (its whole job is mapping real
 /// elapsed time onto the `SimTime` axis the protocols expect).
-const R2_SCOPE: [&str; 5] = [
+const R2_SCOPE: [&str; 6] = [
     "crates/trace/",
     "crates/sim/",
     "crates/core/",
     "crates/hier/",
     "crates/toolkit/",
+    // The fuzzer's whole claim is "same seed, same counterexample" — one
+    // wall-clock read or ambient-RNG draw and a reported violation stops
+    // being replayable. Tests included, like the other deterministic crates.
+    "crates/chaos/",
 ];
 
 /// Crates whose code may use OS threads (exempt from R5): the bench
@@ -788,6 +794,35 @@ impl RepState {
         let f = lint_source("crates/sim/src/x.rs", src);
         assert_eq!(rules_of(&f), vec![Rule::R1]);
         assert!(f[0].message.contains("justification"));
+    }
+
+    // ----- chaos crate scope ------------------------------------------
+
+    #[test]
+    fn chaos_src_is_under_r1() {
+        let src = "use std::collections::HashMap;\npub struct Census { counts: HashMap<String, u64> }\n";
+        let f = lint_source("crates/chaos/src/census.rs", src);
+        assert!(
+            f.iter().filter(|x| x.rule == Rule::R1).count() >= 2,
+            "unordered containers in the fuzzer must be flagged: {f:?}"
+        );
+    }
+
+    #[test]
+    fn chaos_is_under_r2_tests_included() {
+        // A wall-clock read in fuzzer source would silently break
+        // counterexample replay.
+        let clock = "pub fn seed() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }\n";
+        let f = lint_source("crates/chaos/src/gen.rs", clock);
+        assert_eq!(rules_of(&f), vec![Rule::R2]);
+        // Threads in chaos tests are R2 (not R5 — no double report).
+        let threads = "#[test]\nfn t() { std::thread::spawn(|| {}); }\n";
+        let f = lint_source("crates/chaos/tests/pipeline.rs", threads);
+        assert_eq!(rules_of(&f), vec![Rule::R2]);
+        // Ambient RNG in the sweep binary too.
+        let rng = "fn main() { let s: u64 = rand::random(); }\n";
+        let f = lint_source("crates/chaos/src/bin/chaos_sweep.rs", rng);
+        assert_eq!(rules_of(&f), vec![Rule::R2]);
     }
 
     // ----- R2 ---------------------------------------------------------

@@ -684,13 +684,15 @@ impl<B: LargeApp> HierApp<B> {
             }
         }
 
-        // E7 invariant probe: member-role view storage (leaf cache + rep
-        // routing slice; leader replicas are deliberately O(leaves) and
-        // excluded) must stay bounded by the structural parameters.
+        // E7 invariant probe: member-role *routing* storage (leaf cache +
+        // rep routing slice; leader replicas are deliberately O(leaves) and
+        // excluded, as is load-proportional in-flight tracking — see
+        // `RepState::routing_storage_bytes`) must stay bounded by the
+        // structural parameters.
         if up.tracing() {
             let bytes = (16
                 + 4 * view.members.len()
-                + self.reps.get(&lgid).map_or(0, RepState::storage_bytes))
+                + self.reps.get(&lgid).map_or(0, RepState::routing_storage_bytes))
                 as u64;
             let bound = (200 + 16 * self.timers.max_leaf + 48 * self.timers.fanout) as u64;
             let tl = u64::from(lgid.0);

@@ -104,12 +104,24 @@ impl<Q> RepState<Q> {
         self.slice.as_ref().is_some_and(RoutingSlice::is_root)
     }
 
-    /// Estimated storage (E7): slice plus bounded tracking.
+    /// Estimated total storage (E7 stats): slice, in-flight tracking, and
+    /// caches. Load-proportional — grows with concurrent broadcasts.
     pub(crate) fn storage_bytes(&self) -> usize {
-        self.slice.as_ref().map_or(0, RoutingSlice::storage_bytes)
-            + self.unacked.len() * 64
-            + self.assigned.len() * 24
-            + self.child_last.len() * 12
+        self.routing_storage_bytes() + self.unacked.len() * 64 + self.assigned.len() * 24
+    }
+
+    /// Estimated *routing* storage: the part the paper bounds by structural
+    /// parameters (slice size ∝ fanout, child liveness ∝ children). The
+    /// VS-STORE invariant probe samples this, deliberately excluding
+    /// transient in-flight tracking (`unacked`) and the root's assignment
+    /// cache (`assigned`), which scale with offered load, are capped by
+    /// their own mechanisms (ack draining, `repair_cache` eviction), and
+    /// say nothing about how storage scales with group *size*. The
+    /// now-chaos sweep caught the earlier conflation: a broadcast storm
+    /// into a freshly dead leaf queues retransmissions and tripped a
+    /// ceiling derived only from `max_leaf` and `fanout`.
+    pub(crate) fn routing_storage_bytes(&self) -> usize {
+        self.slice.as_ref().map_or(0, RoutingSlice::storage_bytes) + self.child_last.len() * 12
     }
 
     fn remember_assignment(&mut self, id: LbcastId, lseq: u64, cap: usize) {

@@ -7,9 +7,13 @@
 //! are *replayable*: each test function derives its RNG seed from its own
 //! name, so a failure reproduces exactly on every machine, every run.
 //!
-//! What is intentionally missing compared to `proptest`: shrinking (failing
-//! inputs are printed verbatim instead), persistence files, and the full
-//! strategy combinator zoo. Tests migrate by replacing
+//! What is intentionally missing compared to `proptest`: *value-level*
+//! shrinking (failing inputs are printed verbatim instead), persistence
+//! files, and the full strategy combinator zoo. Shrinking in this workspace
+//! happens one level up: the `now-chaos` crate delta-debugs failing fault
+//! *schedules* down to a minimal reproduction, and its shrinker budget
+//! honours [`ProptestConfig::max_shrink_iters`] (via
+//! `now_chaos::ShrinkBudget::from`). Tests migrate by replacing
 //! `use proptest::prelude::*` with `use now_sim::detprop::prelude::*` and
 //! `proptest::collection::vec` with `prop::collection::vec`.
 
@@ -24,8 +28,13 @@ use crate::det_rand::{DetRng, Rng, SampleUniform};
 pub struct ProptestConfig {
     /// Number of random cases generated per property.
     pub cases: u32,
-    /// Accepted for `proptest` source compatibility; there is no shrinking,
-    /// so the value is ignored.
+    /// Shrink-iteration budget. `detprop` itself performs **no value-level
+    /// shrinking** — a failing input is printed verbatim, never minimised —
+    /// so inside this crate the value has no effect. It is *not* silently
+    /// lost, though: the scenario-level delta-debugging shrinker in
+    /// `now-chaos` (`ShrinkBudget::from(&ProptestConfig)`) uses it as its
+    /// re-run budget when minimising a violating fault schedule. `0` means
+    /// "use the downstream shrinker's default budget".
     pub max_shrink_iters: u32,
 }
 
