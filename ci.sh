@@ -16,8 +16,9 @@
 #      otherwise),
 #   7. chaos sweep: replay the shrunk-counterexample regression corpus, then
 #      1000 generated adversarial scenarios (correlated crashes, partition
-#      flaps, storms, rep-chain kills) with the monitors armed as oracles —
-#      any violation fails the gate; the coverage census lands in artifacts,
+#      flaps, storms, rep-chain kills, crash-recover churn) with the
+#      monitors — including VS-REJOIN — armed as oracles — any violation
+#      fails the gate; the coverage census lands in artifacts,
 #   8. the determinism linter, emitting its machine-readable report.
 # Fails on the first broken step or on any non-allowlisted lint finding.
 # Artifacts land in BENCH_artifacts/.

@@ -45,7 +45,7 @@ fn main() {
     let tables = [
         ex::e1(q), ex::e2(q), ex::e3(q), ex::e4(q), ex::e5(q), ex::e6(q),
         ex::e7(q), ex::e8(q), ex::e9(q), ex::e10(q), ex::a1(q), ex::a2(q),
-        ex::partitions(q),
+        ex::partitions(q), ex::availability(q),
     ];
     let wall_clock_s = t0.elapsed().as_secs_f64();
     for t in &tables {

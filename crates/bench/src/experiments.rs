@@ -962,3 +962,90 @@ pub fn partitions(_quick: bool) -> Table {
     t.note("with partition_safety on, only a strict majority may install new views");
     t
 }
+
+// ---------------------------------------------------------------------
+// EA — availability under churn: without recovery every crash shrinks
+// the service for good; with crash-recovery the workstation respawns,
+// rejoins through the ordinary join/state-transfer surface, and
+// delivery coverage returns to ~1.0
+// ---------------------------------------------------------------------
+
+pub fn availability(quick: bool) -> Table {
+    let mut t = Table::new(
+        "EA",
+        "availability under churn: lbcast coverage with vs without crash recovery",
+        &["n", "crashes", "recovery", "coverage", "live_end", "rejoins"],
+    );
+    const N: usize = 12;
+    let churn = if quick { vec![1usize, 3] } else { vec![1usize, 3, 5] };
+    let cases: Vec<(usize, bool)> =
+        churn.into_iter().flat_map(|c| [(c, false), (c, true)]).collect();
+    sweep_rows(&mut t, cases, |(crashes, recover)| {
+        let mut c = isis_hier::harness::large_cluster_with(
+            N,
+            LargeGroupConfig::new(2, 3),
+            IsisConfig::default(),
+            SimConfig::ideal(7_100 + crashes as u64 * 10 + u64::from(recover)),
+        );
+        let lgid = c.lgid;
+        let mut fallen: Vec<Pid> = Vec::new();
+        let mut coverage_sum = 0.0;
+        for round in 0..crashes {
+            // Each round fells a fresh, preferably plain (non-rep)
+            // workstation, then measures how much of the original
+            // membership a post-crash broadcast still reaches.
+            let live = c.live_members();
+            let victim = *live
+                .iter()
+                .find(|&&m| !fallen.contains(&m) && !c.sim.process(m).app().is_rep(lgid))
+                .or_else(|| live.iter().find(|&&m| !fallen.contains(&m)))
+                .expect("someone left to crash");
+            fallen.push(victim);
+            c.sim.crash(victim);
+            c.run_for(SimDuration::from_secs(15));
+            if recover {
+                c.restart_member(victim);
+            }
+            c.run_for(SimDuration::from_secs(30)); // rejoin window (both arms wait)
+            let origin = c
+                .live_members()
+                .into_iter()
+                .find(|&m| m != victim)
+                .expect("a surviving origin");
+            let payload = format!("round-{round}");
+            c.lbcast(origin, &payload);
+            c.run_for(SimDuration::from_secs(15));
+            let got = c
+                .members
+                .iter()
+                .filter(|&&m| {
+                    c.sim.is_alive(m)
+                        && c.sim
+                            .process(m)
+                            .app()
+                            .biz()
+                            .lbcast_payloads(lgid)
+                            .contains(&payload)
+                })
+                .count();
+            coverage_sum += got as f64 / N as f64;
+        }
+        let live_end = c.live_members().len();
+        let rejoins = c
+            .members
+            .iter()
+            .filter(|&&m| c.sim.incarnation(m) > 0)
+            .count();
+        vec![vec![
+            N.to_string(),
+            crashes.to_string(),
+            (if recover { "on" } else { "off" }).to_string(),
+            f(coverage_sum / crashes as f64),
+            live_end.to_string(),
+            rejoins.to_string(),
+        ]]
+    });
+    t.note("coverage = mean fraction of the original n members delivering each post-crash lbcast");
+    t.note("recovery off: coverage decays ~1/n per crash; on: restarts rejoin and it stays ~1.0");
+    t
+}

@@ -5,6 +5,7 @@
 //! ```text
 //! chaos_sweep [--scenarios N] [--seed S] [--census FILE] [--corpus DIR]
 //!             [--shrink-iters K] [--save-findings] [--sabotage]
+//!             [--sabotage-rejoin]
 //! ```
 //!
 //! Exit status is non-zero iff any monitor violation was observed —
@@ -12,9 +13,11 @@
 //! seed, so two CI runs of the same tree produce identical logs.
 //!
 //! `--sabotage` arms the seeded divergent-`ViewInstall` fault
-//! ([`Sabotage::DivergentViewOnLeaderCrash`]): the sweep is then *expected*
-//! to fail, which demonstrates the find → shrink → save pipeline live and
-//! regenerates the checked-in corpus entry.
+//! ([`Sabotage::DivergentViewOnLeaderCrash`]); `--sabotage-rejoin` arms
+//! the seeded stale-incarnation resurrection
+//! ([`Sabotage::StaleResurrectionOnRestart`]). Either way the sweep is
+//! then *expected* to fail, which demonstrates the find → shrink → save
+//! pipeline live and regenerates the checked-in corpus entries.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -66,6 +69,7 @@ fn parse_args() -> Args {
             }
             "--save-findings" => args.save_findings = true,
             "--sabotage" => args.sabotage = Sabotage::DivergentViewOnLeaderCrash,
+            "--sabotage-rejoin" => args.sabotage = Sabotage::StaleResurrectionOnRestart,
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }

@@ -1,11 +1,12 @@
-//! Deterministic scenario generation: six families of hostile schedules.
+//! Deterministic scenario generation: seven families of hostile schedules.
 //!
 //! Each family encodes one adversarial idea from the virtual-synchrony
 //! failure model — correlated crashes inside one leaf, a flapping
 //! partition that straddles the leader group, a crash landing inside the
 //! flush window another crash just opened, killing every successive root
-//! representative, a broadcast storm riding a split/heal, and a mixed
-//! churn grab-bag. Every scenario is a pure function of `(family, index,
+//! representative, a broadcast storm riding a split/heal, a mixed
+//! churn grab-bag, and crash-recover churn where workstations die and
+//! come back under fresh incarnations while traffic flows. Every scenario is a pure function of `(family, index,
 //! base_seed)`: the per-scenario RNG is seeded from an FNV-1a hash of the
 //! three, so sweep workers can partition the index space without
 //! coordination and any report line identifies a replayable input.
@@ -15,13 +16,14 @@ use now_sim::{DetRng, Rng};
 use crate::scenario::{Fault, Scenario, Step, Target};
 
 /// The scenario families, in sweep round-robin order.
-pub const FAMILIES: [&str; 6] = [
+pub const FAMILIES: [&str; 7] = [
     "correlated-crashes",
     "leader-flap",
     "crash-during-flush",
     "rep-chain-kill",
     "storm-split-merge",
     "churn-mix",
+    "crash-recover-churn",
 ];
 
 /// FNV-1a over the identifying triple; the per-scenario seed.
@@ -66,6 +68,7 @@ pub fn generate(family: &str, index: u64, base_seed: u64) -> Scenario {
         "rep-chain-kill" => rep_chain_kill(&mut sc, &mut rng),
         "storm-split-merge" => storm_split_merge(&mut sc, &mut rng),
         "churn-mix" => churn_mix(&mut sc, &mut rng),
+        "crash-recover-churn" => crash_recover_churn(&mut sc, &mut rng),
         other => panic!("unknown scenario family {other:?}"),
     }
     sc
@@ -237,6 +240,48 @@ fn churn_mix(sc: &mut Scenario, rng: &mut DetRng) {
             fault,
         });
     }
+}
+
+/// Workstations die and reboot under fresh incarnations while traffic
+/// flows: one to three crash→restart pairs, each restart gated on its
+/// crash, with storms riding the churn. Sometimes the restart lands while
+/// a *second* crash's flush is still open — the rejoin must thread a
+/// membership change already in progress.
+fn crash_recover_churn(sc: &mut Scenario, rng: &mut DetRng) {
+    let pairs = rng.gen_range(1..=3u32);
+    let mut id = 0;
+    for p in 0..pairs {
+        let victim = rng.gen_range(0..sc.members);
+        let crash_id = id;
+        sc.steps.push(Step {
+            id: crash_id,
+            after: vec![],
+            at_us: rng.gen_range(50_000..500_000) + u64::from(p) * 300_000,
+            fault: Fault::Crash { target: Target::Member(victim) },
+        });
+        // The dead pool is index 0 right after this crash when pairs run
+        // sequentially; under overlap any dead member is a fine comeback.
+        sc.steps.push(Step {
+            id: crash_id + 1,
+            after: vec![crash_id],
+            at_us: 0,
+            fault: Fault::Restart {
+                target: Target::Member(rng.gen_range(0..sc.members)),
+                delay_us: rng.gen_range(100_000..800_000),
+            },
+        });
+        id += 2;
+    }
+    sc.steps.push(Step {
+        id,
+        after: vec![],
+        at_us: rng.gen_range(0..600_000),
+        fault: Fault::Storm {
+            origin: Target::Member(rng.gen_range(0..sc.members)),
+            msgs: rng.gen_range(3..10),
+            gap_us: rng.gen_range(10_000..60_000),
+        },
+    });
 }
 
 fn random_target(sc: &Scenario, rng: &mut DetRng) -> Target {

@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 
 use now_sim::{failure, DetRng, NodeId, Partition, Pid, SimConfig, SimDuration, SimTime};
-use now_trace::{EventKind, Tracer, Violation, ViolationMode};
+use now_trace::{EventKind, MsgKey, Tracer, Violation, ViolationMode};
 
 use isis_core::IsisConfig;
 use isis_hier::config::LargeGroupConfig;
@@ -43,6 +43,11 @@ pub enum Sabotage {
     /// view id, different membership, reported by pid 4242). VS-VIEW must
     /// flag it; if it does not, the oracle pipeline is broken.
     DivergentViewOnLeaderCrash,
+    /// When a `restart` step revives a member, re-inject its last
+    /// pre-crash `CastDeliver` right after the respawn — a zombie replaying
+    /// its previous life's traffic before rejoining. VS-REJOIN must flag
+    /// it; if it does not, the incarnation oracle is broken.
+    StaleResurrectionOnRestart,
 }
 
 /// What one scenario execution produced.
@@ -72,6 +77,7 @@ enum Op {
     Flap { cell: Vec<Target>, period_us: u64, flaps: u32 },
     Lbcast { origin: Target, tag: u32 },
     Heal,
+    Restart(Target),
 }
 
 /// Runs `sc` and reports what the monitors saw.
@@ -161,6 +167,9 @@ fn expand(sc: &Scenario) -> Result<Vec<(u64, Op)>, ScheduleError> {
                 }
             }
             Fault::Heal => ops.push((start, Op::Heal)),
+            Fault::Restart { target, delay_us } => {
+                ops.push((start + delay_us, Op::Restart(*target)))
+            }
         }
     }
     ops.sort_by_key(|(t, _)| *t);
@@ -228,6 +237,17 @@ fn apply(
             }
         }
         Op::Heal => c.sim.set_partition(Partition::connected()),
+        Op::Restart(target) => {
+            for pid in resolve_dead(c, *target) {
+                if c.restart_member(pid).is_some()
+                    && sabotage == Sabotage::StaleResurrectionOnRestart
+                    && !*sabotaged
+                {
+                    forge_stale_resurrection(c, pid);
+                    *sabotaged = true;
+                }
+            }
+        }
     }
 }
 
@@ -262,6 +282,32 @@ fn resolve(c: &LargeCluster, t: Target) -> Vec<Pid> {
                 .filter(|&p| c.sim.process(p).app().leaf_of(c.lgid) == Some(leaf))
                 .collect()
         }
+    }
+}
+
+/// Restart resolution is the mirror of [`resolve`]: a role picks among the
+/// *crashed* members (there is nothing to restart among the living). A
+/// `leafof` role restarts one dead member like `member` — its rack-mates
+/// are gone with it, and the runner models one workstation rebooting.
+fn resolve_dead(c: &LargeCluster, t: Target) -> Vec<Pid> {
+    let dead_members: Vec<Pid> = c
+        .members
+        .iter()
+        .copied()
+        .filter(|&p| !c.sim.is_alive(p))
+        .collect();
+    let dead_leaders: Vec<Pid> = c
+        .leaders
+        .iter()
+        .copied()
+        .filter(|&p| !c.sim.is_alive(p))
+        .collect();
+    match t {
+        Target::Member(i) | Target::LeafOf(i) => pick(&dead_members, i),
+        Target::Leader(i) => pick(&dead_leaders, i),
+        // "Whoever was root rep" is unknowable once it is dead; take the
+        // first fallen leader, mirroring resolve's leader fallback.
+        Target::RootRep => pick(&dead_leaders, 0),
     }
 }
 
@@ -331,6 +377,37 @@ fn forge_divergent_view(c: &mut LargeCluster) {
     }
 }
 
+/// The seeded resurrection: right after `pid` respawns — before it can
+/// install any post-restart view — replay its last pre-crash
+/// `CastDeliver` as if the zombie picked up where its old life stopped.
+/// Falls back to a synthetic delivery when the old life never delivered
+/// anything; either way the pid has no rejoin view yet, so VS-REJOIN must
+/// flag the delivery.
+fn forge_stale_resurrection(c: &mut LargeCluster, pid: Pid) {
+    let now = c.sim.now();
+    let Some(tracer) = c.sim.tracer_mut() else { return };
+    let prior = tracer
+        .events()
+        .into_iter()
+        .rev()
+        .find(|ev| ev.pid == pid.0 && matches!(ev.kind, EventKind::CastDeliver { .. }));
+    let (cause, kind) = match prior {
+        Some(ev) => (Some(ev.seq), ev.kind),
+        None => (
+            None,
+            EventKind::CastDeliver {
+                gid: 999_998,
+                view: 1,
+                msg: MsgKey { sender: pid.0, view: 1, stream: 2, seq: 1 },
+                gseq: 1,
+                relay: false,
+                vt: Vec::new(),
+            },
+        ),
+    };
+    tracer.inject(now.0 + 1, pid.0, cause, kind);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +474,96 @@ mod tests {
     }
 
     #[test]
+    fn crash_then_restart_rejoins_cleanly_under_the_monitors() {
+        let sc = tiny(
+            31,
+            vec![
+                Step {
+                    id: 0,
+                    after: vec![],
+                    at_us: 100_000,
+                    fault: Fault::Crash { target: Target::Member(1) },
+                },
+                Step {
+                    id: 1,
+                    after: vec![0],
+                    at_us: 0,
+                    fault: Fault::Restart { target: Target::Member(0), delay_us: 400_000 },
+                },
+                Step {
+                    id: 2,
+                    after: vec![1],
+                    at_us: 0,
+                    fault: Fault::Storm { origin: Target::Member(0), msgs: 3, gap_us: 20_000 },
+                },
+            ],
+        );
+        let rep = run_scenario(&sc, Sabotage::None).expect("resolves");
+        assert!(rep.is_clean(), "violations: {:?}", rep.violations);
+        assert_eq!(rep.census.get("RESTART").copied().unwrap_or(0), 1);
+        assert!(
+            rep.census.get("REJOIN_COMPLETE").copied().unwrap_or(0) >= 1,
+            "the restarted member must finish rejoining; census: {:?}",
+            rep.census
+        );
+    }
+
+    #[test]
+    fn restart_with_nothing_dead_is_a_skip_not_a_panic() {
+        let sc = tiny(
+            37,
+            vec![Step {
+                id: 0,
+                after: vec![],
+                at_us: 100_000,
+                fault: Fault::Restart { target: Target::Member(0), delay_us: 1_000 },
+            }],
+        );
+        let rep = run_scenario(&sc, Sabotage::None).expect("resolves");
+        assert!(rep.is_clean(), "violations: {:?}", rep.violations);
+        assert_eq!(rep.census.get("RESTART").copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn stale_resurrection_sabotage_trips_the_rejoin_monitor() {
+        let sc = tiny(
+            41,
+            vec![
+                Step {
+                    id: 0,
+                    after: vec![],
+                    at_us: 50_000,
+                    fault: Fault::Storm { origin: Target::Member(1), msgs: 4, gap_us: 10_000 },
+                },
+                Step {
+                    id: 1,
+                    after: vec![0],
+                    at_us: 0,
+                    fault: Fault::Crash { target: Target::Member(1) },
+                },
+                Step {
+                    id: 2,
+                    after: vec![1],
+                    at_us: 0,
+                    fault: Fault::Restart { target: Target::Member(0), delay_us: 300_000 },
+                },
+            ],
+        );
+        let rep =
+            run_scenario(&sc, Sabotage::StaleResurrectionOnRestart).expect("resolves");
+        assert!(!rep.is_clean(), "the seeded resurrection must be caught");
+        let v = rep
+            .violations
+            .iter()
+            .find(|v| v.monitor == "VS-REJOIN")
+            .expect("VS-REJOIN among the violations");
+        assert!(!v.pids.is_empty(), "offender named");
+        // The identical scenario without the seeded bug is clean.
+        let clean = run_scenario(&sc, Sabotage::None).expect("resolves");
+        assert!(clean.is_clean(), "violations: {:?}", clean.violations);
+    }
+
+    #[test]
     fn sabotage_trips_the_view_monitor_with_the_offender_named() {
         let sc = tiny(
             7,
@@ -417,3 +584,5 @@ mod tests {
         assert!(clean.is_clean(), "violations: {:?}", clean.violations);
     }
 }
+
+

@@ -104,6 +104,17 @@ pub enum Fault {
     },
     /// Heal all partitions immediately.
     Heal,
+    /// Restart a previously crashed member under a fresh incarnation,
+    /// `delay_us` after the step fires (recovery is the fault's mirror:
+    /// the adversary controls *when* the workstation comes back too).
+    Restart {
+        /// Who comes back. Resolved against *crashed* members — a dead
+        /// pid keeps its role index from the original membership.
+        target: Target,
+        /// Delay between the step firing and the respawn, in simulated
+        /// microseconds.
+        delay_us: u64,
+    },
 }
 
 impl Fault {
@@ -112,6 +123,7 @@ impl Fault {
     pub fn duration_us(&self) -> u64 {
         match self {
             Fault::Crash { .. } | Fault::Heal => 0,
+            Fault::Restart { delay_us, .. } => *delay_us,
             Fault::CorrelatedCrash { spread_us, .. } => *spread_us,
             Fault::PartitionFlap { period_us, flaps, .. } => {
                 2 * u64::from(*flaps) * *period_us
@@ -128,6 +140,7 @@ impl Fault {
             Fault::PartitionFlap { .. } => "flap",
             Fault::Storm { .. } => "storm",
             Fault::Heal => "heal",
+            Fault::Restart { .. } => "restart",
         }
     }
 }
@@ -308,6 +321,9 @@ impl Scenario {
                     out.push_str(&format!("storm origin={origin} msgs={msgs} gap={gap_us}"))
                 }
                 Fault::Heal => out.push_str("heal"),
+                Fault::Restart { target, delay_us } => {
+                    out.push_str(&format!("restart target={target} delay={delay_us}"))
+                }
             }
             out.push('\n');
         }
@@ -364,6 +380,10 @@ impl Scenario {
                             gap_us: num(&fargs, "gap")?,
                         },
                         "heal" => Fault::Heal,
+                        "restart" => Fault::Restart {
+                            target: Target::parse(fargs.get("target")?)?,
+                            delay_us: num(&fargs, "delay")?,
+                        },
                         _ => return None,
                     };
                     let after = match *h.get("after")? {
@@ -518,5 +538,23 @@ mod tests {
             Fault::Storm { origin: Target::Member(0), msgs: 5, gap_us: 100 }.duration_us(),
             400
         );
+        assert_eq!(
+            Fault::Restart { target: Target::Member(0), delay_us: 2_000 }.duration_us(),
+            2_000
+        );
+    }
+
+    #[test]
+    fn restart_fault_round_trips() {
+        let mut sc = demo();
+        sc.steps.push(Step {
+            id: 3,
+            after: vec![1],
+            at_us: 0,
+            fault: Fault::Restart { target: Target::Member(4), delay_us: 150_000 },
+        });
+        let back = Scenario::parse(&sc.to_text()).expect("parses");
+        assert_eq!(back, sc);
+        assert_eq!(sc.steps[3].fault.kind(), "restart");
     }
 }

@@ -195,6 +195,15 @@ fn weaken(f: &Fault) -> Vec<Fault> {
             }
             out
         }
+        Fault::Restart { target, delay_us } => {
+            // A sooner comeback is the weaker fault: less time for the
+            // cluster to drift from the dead member's last life.
+            if *delay_us > 1_000 {
+                vec![Fault::Restart { target: *target, delay_us: delay_us / 2 }]
+            } else {
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -298,5 +307,15 @@ mod tests {
             }
         }
         assert!(weaken(&Fault::Heal).is_empty());
+        let restart = Fault::Restart { target: Target::Member(0), delay_us: 8_000 };
+        for w in weaken(&restart) {
+            if let Fault::Restart { delay_us, .. } = w {
+                assert!(delay_us < 8_000);
+            }
+        }
+        assert!(
+            weaken(&Fault::Restart { target: Target::Member(0), delay_us: 500 }).is_empty(),
+            "an immediate restart is already minimal"
+        );
     }
 }

@@ -112,6 +112,93 @@ fn seeded_bug_is_found_shrunk_and_replayable() {
     );
 }
 
+/// A deliberately noisy scenario whose load-bearing core is one
+/// crash→restart pair; the storms are decoration the shrinker strips.
+fn noisy_crash_restart() -> Scenario {
+    let mut steps = vec![
+        Step {
+            id: 0,
+            after: vec![],
+            at_us: 200_000,
+            fault: Fault::Crash { target: Target::Member(1) },
+        },
+        Step {
+            id: 1,
+            after: vec![0],
+            at_us: 0,
+            fault: Fault::Restart { target: Target::Member(0), delay_us: 400_000 },
+        },
+    ];
+    for id in 2..8u32 {
+        steps.push(Step {
+            id,
+            after: if id > 5 { vec![id - 4] } else { vec![] },
+            at_us: u64::from(id) * 90_000,
+            fault: Fault::Storm {
+                origin: Target::Member(id),
+                msgs: 4,
+                gap_us: 15_000,
+            },
+        });
+    }
+    Scenario {
+        family: "pipeline-rejoin-test".into(),
+        seed: 53,
+        members: 6,
+        resiliency: 2,
+        max_leaf: 3,
+        horizon_us: 2_500_000,
+        steps,
+    }
+}
+
+#[test]
+fn seeded_resurrection_is_found_shrunk_and_replayable() {
+    let sc = noisy_crash_restart();
+    let sabotaged = |s: &Scenario| {
+        run_scenario(s, Sabotage::StaleResurrectionOnRestart).is_ok_and(|r| !r.is_clean())
+    };
+
+    // 1+2. The forged resurrection is detected by VS-REJOIN.
+    let rep = run_scenario(&sc, Sabotage::StaleResurrectionOnRestart).expect("resolves");
+    assert!(!rep.is_clean(), "seeded resurrection must be detected");
+    assert_eq!(rep.violations[0].monitor, "VS-REJOIN");
+
+    // 3. The shrinker strips the decoration; the crash→restart pair (the
+    // trigger) survives.
+    let shrunk = shrink(&sc, ShrinkBudget::new(400), sabotaged);
+    assert!(
+        shrunk.reduction() <= 0.5,
+        "shrunk {} of {} steps (reduction {:.2})",
+        shrunk.scenario.len(),
+        shrunk.original_len,
+        shrunk.reduction()
+    );
+    assert!(shrunk
+        .scenario
+        .steps
+        .iter()
+        .any(|s| matches!(s.fault, Fault::Restart { .. })));
+
+    // 4a. The shrunk counterexample replays as a failing regression,
+    // byte-stable through the corpus text format.
+    let reparsed =
+        Scenario::parse(&shrunk.scenario.to_text()).expect("shrunk scenario round-trips");
+    assert_eq!(reparsed, shrunk.scenario);
+    let replay =
+        run_scenario(&reparsed, Sabotage::StaleResurrectionOnRestart).expect("resolves");
+    assert!(!replay.is_clean(), "shrunk counterexample must still fail");
+    assert_eq!(replay.violations[0].monitor, "VS-REJOIN");
+
+    // 4b. Without the seeded bug the same scenario is clean.
+    let reverted = run_scenario(&reparsed, Sabotage::None).expect("resolves");
+    assert!(
+        reverted.is_clean(),
+        "reverted fault must replay clean, got {:?}",
+        reverted.violations
+    );
+}
+
 #[test]
 fn generated_scenarios_also_surface_the_seeded_bug() {
     // Not just the hand-built scenario: the generator's own families that

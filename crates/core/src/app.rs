@@ -139,6 +139,12 @@ impl<'a, 'b, A: Application> Uplink<'a, 'b, A> {
         self.ctx.me()
     }
 
+    /// This process's incarnation number: 0 in its first life, bumped on
+    /// every restart. Lets an application tell a rejoin from a first join.
+    pub fn incarnation(&self) -> u32 {
+        self.ctx.incarnation()
+    }
+
     /// The view of the group the current callback concerns, when there is
     /// one (deliveries and view events; `None` for direct messages and
     /// timers).

@@ -13,7 +13,7 @@ use now_sim::{Ctx, Pid, SimTime};
 
 use crate::app::{Application, MsgOf};
 use crate::config::IsisConfig;
-use crate::msg::{CastData, IsisMsg, StabilityVector};
+use crate::msg::{CastData, DeliveryFloor, IsisMsg, StabilityVector};
 use crate::types::{CastKind, GroupId, GroupView, IsisError, MsgId, ViewId};
 use crate::vclock::VClock;
 
@@ -301,6 +301,30 @@ impl<A: Application> GroupRuntime<A> {
         };
         rt.reset_liveness(now);
         rt
+    }
+
+    /// The current delivery cut, captured at the same instant as an
+    /// exported state snapshot so a joiner install carries a consistent
+    /// `(state, floor)` pair.
+    pub(crate) fn delivery_floor(&self) -> DeliveryFloor {
+        DeliveryFloor {
+            cvt: self.cvt.clone(),
+            fdel: self.fdel.clone(),
+            adel: self.adel,
+            delivered: self.delivered_ids.iter().copied().collect(),
+        }
+    }
+
+    /// Starts a joiner's delivery state at the donor's snapshot cut.
+    /// Without this, a joiner admitted mid-view (e.g. a restart the group
+    /// never noticed) would re-deliver flush relays whose effects its
+    /// imported state already contains.
+    pub(crate) fn set_delivery_floor(&mut self, f: DeliveryFloor) {
+        self.cvt = f.cvt;
+        self.fdel = f.fdel;
+        self.adel = f.adel;
+        self.next_gseq = self.adel + 1;
+        self.delivered_ids = f.delivered.into_iter().collect();
     }
 
     pub(crate) fn reset_liveness(&mut self, now: SimTime) {

@@ -48,7 +48,7 @@ pub mod vclock;
 pub use app::{Application, MsgOf, Uplink};
 pub use config::IsisConfig;
 pub use group::Status;
-pub use msg::{CastData, IsisMsg, RelaySet, StabilityVector};
+pub use msg::{CastData, DeliveryFloor, IsisMsg, RelaySet, StabilityVector};
 pub use process::IsisProcess;
 pub use types::{CastKind, GroupId, GroupView, IsisError, MsgId, ViewId};
 pub use vclock::{VClock, VOrd};

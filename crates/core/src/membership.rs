@@ -341,6 +341,7 @@ impl<A: Application> GroupRuntime<A> {
                         view: self.view.clone(),
                         relay: RelaySet::default(),
                         state: None,
+                        floor: None,
                     },
                 );
             }
@@ -483,6 +484,7 @@ impl<A: Application> GroupRuntime<A> {
                     view: vc.proposal.clone(),
                     relay: relay.clone(),
                     state: None,
+                    floor: None,
                 },
             );
         }

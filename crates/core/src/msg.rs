@@ -96,6 +96,37 @@ impl<P> RelaySet<P> {
     }
 }
 
+/// The donor's delivery progress at the instant a joiner's state snapshot
+/// was exported.
+///
+/// A joiner admitted mid-view (a restart the group never noticed, or a
+/// first join whose install was lost and re-sent) receives application
+/// state that already reflects every message the donor delivered. Its
+/// runtime must therefore start at the same cut: with these floors
+/// installed, flush relays and retransmissions of snapshot-covered
+/// messages are recognized as delivered instead of being applied a second
+/// time on top of their own effects.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryFloor {
+    /// Delivered causal casts per sender.
+    pub cvt: VClock,
+    /// Delivered FIFO casts per sender.
+    pub fdel: VClock,
+    /// Highest contiguously delivered ABCAST global sequence.
+    pub adel: u64,
+    /// Delivered-but-not-yet-stable ids (dedups cross-view relays, which
+    /// bypass the per-view floors above). Sorted; bounded by the donor's
+    /// retransmission buffers.
+    pub delivered: Vec<MsgId>,
+}
+
+impl DeliveryFloor {
+    /// Estimated wire bytes.
+    pub fn wire_bytes(&self) -> usize {
+        16 + self.cvt.storage_bytes() + self.fdel.storage_bytes() + self.delivered.len() * 16
+    }
+}
+
 /// Every message exchanged by [`crate::process::IsisProcess`] instances.
 ///
 /// `P` is the application payload type, `S` the application state-transfer
@@ -139,6 +170,9 @@ pub enum IsisMsg<P, S> {
         relay: RelaySet<P>,
         /// Application state for joining members (None for old members).
         state: Option<S>,
+        /// The delivery cut `state` was exported at (None for old
+        /// members, who track their own floors).
+        floor: Option<DeliveryFloor>,
     },
 
     // ------------------------------------------------------------ data --
@@ -256,7 +290,7 @@ impl<P, S> IsisMsg<P, S> {
                         .map(|(_, p)| payload_bytes(p))
                         .sum::<usize>()
             }
-            IsisMsg::InstallView { view, relay, state, .. } => {
+            IsisMsg::InstallView { view, relay, state, floor, .. } => {
                 16 + view.storage_bytes()
                     + relay.len() * 32
                     + relay.causal.iter().map(|(_, _, p)| payload_bytes(p)).sum::<usize>()
@@ -272,6 +306,7 @@ impl<P, S> IsisMsg<P, S> {
                         .map(|(_, p)| payload_bytes(p))
                         .sum::<usize>()
                     + if state.is_some() { state_bytes } else { 0 }
+                    + floor.as_ref().map_or(0, DeliveryFloor::wire_bytes)
             }
             IsisMsg::Cast(c) => {
                 32 + c.vt.storage_bytes() + c.stab.wire_bytes() + payload_bytes(&c.payload)
@@ -360,6 +395,7 @@ mod tests {
             view: v.clone(),
             relay: RelaySet::default(),
             state: Some(()),
+            floor: None,
         };
         let without: IsisMsg<u32, ()> = IsisMsg::InstallView {
             gid: GroupId(1),
@@ -367,6 +403,7 @@ mod tests {
             view: v,
             relay: RelaySet::default(),
             state: None,
+            floor: None,
         };
         assert_eq!(
             with.wire_bytes(|_| 0, 500) - without.wire_bytes(|_| 0, 500),

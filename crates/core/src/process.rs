@@ -9,7 +9,7 @@ use now_sim::{Ctx, Pid, Process, SimTime, TimerId};
 use crate::app::{Application, MsgOf, Uplink, UpOp};
 use crate::config::IsisConfig;
 use crate::group::{Effect, Env, GroupRuntime, Status};
-use crate::msg::{IsisMsg, RelaySet};
+use crate::msg::{DeliveryFloor, IsisMsg, RelaySet};
 use crate::types::{CastKind, GroupId, GroupView, IsisError, MsgId};
 
 /// Timer kind for the internal housekeeping tick.
@@ -106,6 +106,13 @@ impl<A: Application> IsisProcess<A> {
     /// Whether this process has a join in flight for `gid`.
     pub fn is_joining(&self, gid: GroupId) -> bool {
         self.joining.contains_key(&gid)
+    }
+
+    /// Joiners this member has accepted into `gid` but not yet installed —
+    /// non-empty only while a join is in flight, so tests can assert a
+    /// contact ends up clean after a joiner crashes mid-join.
+    pub fn pending_joiners(&self, gid: GroupId) -> usize {
+        self.groups.get(&gid).map_or(0, |g| g.pending_joiners.len())
     }
 
     /// Operational status of this member of `gid`.
@@ -412,6 +419,10 @@ impl<A: Application> IsisProcess<A> {
                 joiners,
             } => {
                 let state = self.app.export_state(gid);
+                // The floor must be read at the same instant as the
+                // export: together they are the snapshot cut the joiner's
+                // runtime starts at.
+                let floor = self.groups.get(&gid).map(GroupRuntime::delivery_floor);
                 for j in joiners {
                     ctx.bump("isis.sent.install");
                     ctx.send(
@@ -422,6 +433,7 @@ impl<A: Application> IsisProcess<A> {
                             view: view.clone(),
                             relay: RelaySet::default(),
                             state: Some(state.clone()),
+                            floor: floor.clone(),
                         },
                     );
                 }
@@ -519,13 +531,17 @@ impl<A: Application> IsisProcess<A> {
         gid: GroupId,
         view: GroupView,
         state: Option<A::State>,
+        floor: Option<DeliveryFloor>,
         ctx: &mut Ctx<'_, MsgOf<A>>,
     ) {
         if !view.contains(ctx.me()) {
             return;
         }
         self.joining.remove(&gid);
-        let rt = GroupRuntime::new_joined(view.clone(), ctx.me(), ctx.now());
+        let mut rt = GroupRuntime::new_joined(view.clone(), ctx.me(), ctx.now());
+        if let Some(f) = floor {
+            rt.set_delivery_floor(f);
+        }
         self.groups.insert(gid, rt);
         if let Some(s) = state {
             self.app.import_state(gid, s);
@@ -615,9 +631,10 @@ impl<A: Application> Process for IsisProcess<A> {
                 view,
                 relay,
                 state,
+                floor,
             } if !self.groups.contains_key(&gid) => {
                 if self.joining.contains_key(&gid) || view.contains(ctx.me()) {
-                    self.handle_joiner_install(gid, view, state, ctx);
+                    self.handle_joiner_install(gid, view, state, floor, ctx);
                 } else {
                     ctx.bump("isis.recv.unknown_group");
                     let _ = (attempt, relay);

@@ -261,6 +261,64 @@ fn join_to_nonmember_is_denied() {
     assert!(!c.sim.process(joiner).is_member(unknown));
 }
 
+#[test]
+fn joiner_crash_mid_join_leaves_the_contact_clean() {
+    // A joiner dies with its join in flight: the contact's pending-joiner
+    // bookkeeping must drain, no view may end up containing the corpse,
+    // and the group keeps working — no leaked JoinState anywhere.
+    for seed in 0..10 {
+        let mut c = cluster_lan(3, IsisConfig::default(), 2_000 + seed);
+        let gid = c.gid;
+        let contact = c.pids[2];
+        let node = c.sim.add_nodes(1)[0];
+        let joiner = c.sim.spawn(
+            node,
+            isis_core::IsisProcess::new(
+                isis_core::testutil::RecorderApp::default(),
+                IsisConfig::default(),
+            ),
+        );
+        c.sim.invoke(joiner, |p, ctx| {
+            p.join(gid, contact, ctx).unwrap();
+        });
+        // Let the join travel a varying distance before the crash: step
+        // until the contact has buffered the joiner (or a bounded number
+        // of raw steps for the earliest interleavings).
+        let raw_steps = (seed as usize) * 3;
+        for _ in 0..raw_steps {
+            if c.sim.process(contact).pending_joiners(gid) > 0 {
+                break;
+            }
+            c.sim.step();
+        }
+        c.sim.crash(joiner);
+        settle_long(&mut c);
+
+        for &p in &c.pids {
+            let proc_ = c.sim.process(p);
+            assert_eq!(
+                proc_.pending_joiners(gid),
+                0,
+                "seed {seed}: member {p} leaked pending-joiner state"
+            );
+            let v = proc_.view_of(gid).expect("still a member");
+            assert!(
+                !v.contains(joiner),
+                "seed {seed}: dead joiner survives in {p}'s view"
+            );
+            assert_eq!(v.size(), 3, "seed {seed}: view shrank or grew at {p}");
+        }
+        // The group still makes progress after the aborted join.
+        c.cast_and_settle(c.pids[0], CastKind::Total, "after-aborted-join");
+        for (p, log) in c.live_logs() {
+            assert!(
+                log.contains(&"after-aborted-join".to_string()),
+                "seed {seed}: {p} missed post-abort traffic"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Failures and virtual synchrony
 // ---------------------------------------------------------------------
@@ -572,4 +630,102 @@ fn group_survives_total_silence_then_resumes() {
     for (_, log) in c.live_logs() {
         assert!(log.contains(&"still-alive".to_string()));
     }
+}
+
+#[test]
+fn undetected_restart_rejoins_midview_without_double_delivery() {
+    // A member dies and a fresh incarnation rejoins before the failure
+    // detector notices: the view still contains the pid, so the join is
+    // served by the idempotent branch of `handle_join_forward` — an
+    // install of the *current* view with a mid-stream state snapshot.
+    // The install's delivery floor must start the rejoiner at the
+    // snapshot cut; without it, the next flush re-relays messages whose
+    // effects the snapshot already contains and the application applies
+    // them twice.
+    let mut c = cluster(3, IsisConfig::default(), 4_242);
+    let gid = c.gid;
+    let contact = c.pids[0];
+    let victim = c.pids[2];
+
+    c.cast_and_settle(c.pids[0], CastKind::Total, "pre");
+    let view_before = c
+        .sim
+        .process(contact)
+        .view_of(gid)
+        .expect("member")
+        .view_id;
+
+    c.sim.crash(victim);
+    // Cast while the victim is down: delivered by the survivors and
+    // folded into the rejoin snapshot, but unstable — the silent view
+    // member holds the stability floor down — so the next flush will
+    // carry it in its relay set.
+    c.sim
+        .invoke(c.pids[1], move |p, ctx| {
+            p.cast(gid, CastKind::Total, "while-down".into(), ctx)
+                .expect("caster is a member")
+        })
+        .expect("caster is alive");
+    c.sim.run_for(SimDuration::from_millis(50));
+
+    // A fresh incarnation rejoins well inside the detection timeout.
+    assert_eq!(
+        c.sim.restart_with(
+            victim,
+            isis_core::IsisProcess::new(
+                isis_core::testutil::RecorderApp::default(),
+                IsisConfig::default(),
+            ),
+        ),
+        Some(1)
+    );
+    c.sim
+        .invoke(victim, move |p, ctx| {
+            p.join(gid, contact, ctx).expect("group exists")
+        })
+        .expect("restarted");
+    c.sim.run_for(SimDuration::from_millis(100));
+
+    // The group never noticed the death: same view id, and the snapshot
+    // carried the survivors' deliveries.
+    assert!(c.sim.process(victim).is_member(gid));
+    assert_eq!(
+        c.sim.process(contact).view_of(gid).expect("member").view_id,
+        view_before
+    );
+    let imported = c
+        .sim
+        .process(victim)
+        .app()
+        .imported
+        .clone()
+        .expect("rejoin carried state");
+    assert!(imported.contains(&"while-down".to_string()));
+
+    // Force a flush: a newcomer joins, and the still-unstable casts ride
+    // the view change's relay set past every member — including the
+    // rejoiner, whose floor must recognize them as already applied.
+    let node = c.sim.add_nodes(1)[0];
+    let newcomer = c.sim.spawn(
+        node,
+        isis_core::IsisProcess::new(
+            isis_core::testutil::RecorderApp::default(),
+            IsisConfig::default(),
+        ),
+    );
+    c.sim
+        .invoke(newcomer, move |p, ctx| {
+            p.join(gid, contact, ctx).expect("group exists")
+        })
+        .expect("spawned");
+    c.settle();
+
+    // Post-rejoin traffic flows; nothing from the snapshot was delivered
+    // a second time.
+    c.cast_and_settle(c.pids[1], CastKind::Total, "post");
+    assert_eq!(
+        c.sim.process(victim).app().payloads(gid),
+        vec!["post".to_string()],
+        "rejoiner re-applied snapshot-covered messages"
+    );
 }

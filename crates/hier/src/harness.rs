@@ -302,6 +302,17 @@ pub fn large_cluster_with(
         });
     }
 
+    // A restarted workstation comes back as a brand-new process: same pid,
+    // fresh incarnation, empty protocol and business state. Everything it
+    // knew must be re-learned through rejoin + state transfer.
+    let (rcfg, ricfg) = (cfg.clone(), icfg.clone());
+    sim.set_respawn(move |_pid| {
+        IsisProcess::new(
+            HierApp::with_timers(RecorderBiz::default(), rcfg.clone()),
+            ricfg.clone(),
+        )
+    });
+
     let mut c = LargeCluster {
         sim,
         lgid,
@@ -413,6 +424,26 @@ impl LargeCluster {
         for (p, log) in &logs[1..] {
             assert_eq!(log, first, "lbcast logs diverge between {p0} and {p}");
         }
+    }
+
+    /// Restarts a crashed process under a fresh incarnation and immediately
+    /// starts its rejoin through the first live leader. Returns the new
+    /// incarnation number, or `None` (a no-op) if the pid is still alive.
+    /// A former leader-group member comes back as a plain leaf member —
+    /// roles are re-earned, never resumed.
+    ///
+    /// The recovered workstation re-enters as a leaf of whatever leaf group
+    /// the leader assigns — possibly a different one than before its crash —
+    /// and re-earns any rep role through ordinary view coordination.
+    pub fn restart_member(&mut self, m: Pid) -> Option<u32> {
+        let inc = self.sim.restart(m)?;
+        let lgid = self.lgid;
+        if let Some(contact) = self.leaders.iter().copied().find(|&l| self.sim.is_alive(l)) {
+            self.sim.invoke(m, move |p, ctx| {
+                p.with_app(ctx, move |app, up| app.join_large(lgid, contact, up));
+            });
+        }
+        Some(inc)
     }
 
     /// The member currently acting as root representative, if any.

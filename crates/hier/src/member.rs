@@ -249,6 +249,13 @@ impl<B: LargeApp> HierApp<B> {
         }
         self.members
             .insert(lgid, MemberState::new(leader_contact, up.now()));
+        // A restarted workstation coming back: it re-enters through the
+        // ordinary join path (possibly landing in a different leaf) and
+        // re-earns any rep/leader role from scratch.
+        if up.incarnation() > 0 {
+            let (tl, incarnation) = (u64::from(lgid.0), u64::from(up.incarnation()));
+            up.trace_with(|| TraceKind::RejoinBegin { lgid: tl, incarnation });
+        }
         up.direct(leader_contact, HierPayload::Ctl(CtlMsg::JoinLargeReq { lgid }));
     }
 
@@ -322,7 +329,7 @@ impl<B: LargeApp> HierApp<B> {
         up: &mut Uplink<'_, '_, Self>,
     ) {
         if self.reps.contains_key(&lgid) {
-            self.rep_handle_submit(lgid, id, payload, up);
+            self.rep_handle_submit(lgid, id, payload, None, up);
             return;
         }
         let Some(ms) = self.members.get(&lgid) else {
@@ -642,6 +649,11 @@ impl<B: LargeApp> HierApp<B> {
         let newly_joined = !ms.joined && view.contains(me);
         if newly_joined {
             ms.joined = true;
+            if up.incarnation() > 0 {
+                let (tl, leaf) = (u64::from(lgid.0), view.gid.0);
+                let incarnation = u64::from(up.incarnation());
+                up.trace_with(|| TraceKind::RejoinComplete { lgid: tl, leaf, incarnation });
+            }
         }
 
         // Rep transition.

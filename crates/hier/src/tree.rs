@@ -141,12 +141,14 @@ impl<B: LargeApp> HierApp<B> {
     // ------------------------------------------------------------------
 
     /// A representative received (or originated) a submit: stamp it at the
-    /// root, or climb one level.
+    /// root, or climb one level. `from` is the pid that handed us the
+    /// submit over the network (None when it originated locally).
     pub(crate) fn rep_handle_submit(
         &mut self,
         lgid: LargeGroupId,
         id: LbcastId,
         payload: B::Payload,
+        from: Option<Pid>,
         up: &mut Uplink<'_, '_, Self>,
     ) {
         let Some(rep) = self.reps.get_mut(&lgid) else {
@@ -172,11 +174,17 @@ impl<B: LargeApp> HierApp<B> {
             }
             Some(s) => {
                 // Climb: parent rep from the slice (refreshed by senders).
+                // Never climb back to whoever just handed us the submit —
+                // a stale parent pointer (e.g. at a pid whose previous
+                // incarnation was a rep) would otherwise ping-pong it
+                // between two processes at network latency until a slice
+                // push repairs the pointer; dropping is safe because the
+                // origin re-routes from `out` on its retry timer.
                 let target = rep
                     .parent_rep
                     .or_else(|| s.parent.as_ref().and_then(LeafDesc::rep));
                 match target {
-                    Some(t) if t != up.me() => {
+                    Some(t) if t != up.me() && Some(t) != from => {
                         up.direct(t, HierPayload::Tree(TreeMsg::Submit { lgid, id, payload }));
                     }
                     _ => up.bump("hier.submit.no_parent"),
@@ -324,10 +332,19 @@ impl<B: LargeApp> HierApp<B> {
         match msg {
             TreeMsg::Submit { lgid, id, payload } => {
                 if self.reps.contains_key(&lgid) {
-                    self.rep_handle_submit(lgid, id, payload, up);
-                } else {
-                    // We stopped being rep; bounce to the current one.
+                    self.rep_handle_submit(lgid, id, payload, Some(from), up);
+                } else if from == id.origin {
+                    // We stopped being rep; bounce once toward the current
+                    // one. Only a submit arriving straight from its origin
+                    // may be re-routed — two members with stale views of
+                    // each other would otherwise ping-pong a forwarded
+                    // submit forever at network latency.
                     self.route_submit(lgid, id, payload, up);
+                } else {
+                    // A forwarded submit found no rep here: drop it. The
+                    // origin holds it in `out` and re-routes on its retry
+                    // timer once membership has settled.
+                    up.bump("hier.submit.misrouted");
                 }
             }
             TreeMsg::Forward {

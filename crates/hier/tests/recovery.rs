@@ -1,0 +1,168 @@
+//! Crash-recovery end-to-end: a workstation dies, respawns under a fresh
+//! incarnation, and rejoins the large group through the ordinary join /
+//! state-transfer surface — with the virtual-synchrony monitors (including
+//! VS-REJOIN) armed as oracles throughout.
+
+use isis_hier::config::LargeGroupConfig;
+use isis_hier::harness::{large_cluster, LargeCluster};
+use now_sim::{Pid, SimDuration};
+use now_sim::trace::{EventKind, TraceEvent, Tracer, ViolationMode};
+
+fn settle(c: &mut LargeCluster, secs: u64) {
+    c.run_for(SimDuration::from_secs(secs));
+}
+
+fn arm(c: &mut LargeCluster) {
+    c.sim.set_tracer(
+        Tracer::new()
+            .with_monitors(ViolationMode::Record)
+            .retain_all(),
+    );
+}
+
+fn assert_clean(c: &mut LargeCluster) -> Vec<TraceEvent> {
+    let tr = c.sim.take_tracer().expect("tracer armed");
+    assert!(
+        tr.violations().is_empty(),
+        "monitor violations: {:?}",
+        tr.violations()
+    );
+    tr.events()
+}
+
+/// A non-rep member that is safe to kill without tripping repair paths
+/// unrelated to this test.
+fn plain_member(c: &LargeCluster) -> Pid {
+    *c.members
+        .iter()
+        .find(|&&m| !c.sim.process(m).app().is_rep(c.lgid))
+        .expect("a non-rep member exists")
+}
+
+#[test]
+fn crashed_member_rejoins_under_a_fresh_incarnation() {
+    let mut c = large_cluster(12, LargeGroupConfig::new(2, 3), 21);
+    arm(&mut c);
+    let victim = plain_member(&c);
+
+    c.sim.crash(victim);
+    settle(&mut c, 20); // the leaf absorbs the failure
+    assert!(!c.live_members().contains(&victim));
+
+    assert_eq!(c.restart_member(victim), Some(1));
+    assert_eq!(c.sim.incarnation(victim), 1);
+    settle(&mut c, 30);
+
+    // The recovered workstation is a leaf member again (possibly of a
+    // different leaf), and post-rejoin traffic reaches it.
+    assert!(c.live_members().contains(&victim));
+    let leaf = c
+        .sim
+        .process(victim)
+        .app()
+        .leaf_of(c.lgid)
+        .expect("rejoined a leaf");
+    let lv = c.leaf_view_of(victim).expect("has a leaf view");
+    assert_eq!(lv.gid, leaf);
+    assert!(lv.contains(victim));
+
+    let origin = c
+        .live_members()
+        .into_iter()
+        .find(|&m| m != victim)
+        .expect("another member");
+    c.lbcast(origin, "after-rejoin");
+    settle(&mut c, 30);
+    let got = c
+        .sim
+        .process(victim)
+        .app()
+        .biz()
+        .lbcast_payloads(c.lgid);
+    assert_eq!(got, vec!["after-rejoin".to_string()]);
+
+    // The rejoin is visible in the trace and the oracles stayed silent.
+    let events = assert_clean(&mut c);
+    assert!(events.iter().any(|e| {
+        e.pid == victim.0 && matches!(e.kind, EventKind::Restart { incarnation: 1 })
+    }));
+    assert!(events.iter().any(|e| {
+        e.pid == victim.0 && matches!(e.kind, EventKind::RejoinBegin { incarnation: 1, .. })
+    }));
+    assert!(events.iter().any(|e| {
+        e.pid == victim.0
+            && matches!(e.kind, EventKind::RejoinComplete { incarnation: 1, .. })
+    }));
+}
+
+#[test]
+fn restart_of_a_live_member_is_a_noop() {
+    let mut c = large_cluster(9, LargeGroupConfig::new(2, 3), 23);
+    let m = plain_member(&c);
+    assert_eq!(c.restart_member(m), None);
+    assert_eq!(c.sim.incarnation(m), 0);
+}
+
+#[test]
+fn rep_crash_and_return_reenters_as_plain_member() {
+    let mut c = large_cluster(12, LargeGroupConfig::new(2, 3), 25);
+    arm(&mut c);
+    let rep = *c
+        .members
+        .iter()
+        .find(|&&m| c.sim.process(m).app().is_rep(c.lgid))
+        .expect("a member rep exists");
+
+    c.sim.crash(rep);
+    settle(&mut c, 25); // another member takes over the rep role
+
+    assert!(c.restart_member(rep).is_some());
+    settle(&mut c, 30);
+
+    // Back in a leaf; the rep role was re-earned by someone, not resumed
+    // by fiat — and VS-PRIM held across the crash+return.
+    assert!(c.live_members().contains(&rep));
+    assert!(c.sim.process(rep).app().leaf_of(c.lgid).is_some());
+    c.lbcast(rep, "from-recovered");
+    settle(&mut c, 30);
+    for (m, log) in c.lbcast_logs() {
+        if m == rep {
+            continue; // the recovered pid's log restarted with its new life
+        }
+        assert!(
+            log.contains(&"from-recovered".to_string()),
+            "member {m} missed the recovered rep's broadcast"
+        );
+    }
+    assert_clean(&mut c);
+}
+
+#[test]
+fn double_restart_chains_incarnations() {
+    let mut c = large_cluster(10, LargeGroupConfig::new(2, 3), 27);
+    arm(&mut c);
+    let victim = plain_member(&c);
+
+    c.sim.crash(victim);
+    settle(&mut c, 20);
+    assert_eq!(c.restart_member(victim), Some(1));
+    settle(&mut c, 25);
+    assert!(c.live_members().contains(&victim));
+
+    // The recovered life dies too; the third life still rejoins cleanly.
+    c.sim.crash(victim);
+    settle(&mut c, 20);
+    assert_eq!(c.restart_member(victim), Some(2));
+    settle(&mut c, 30);
+    assert!(c.live_members().contains(&victim));
+    assert_eq!(c.sim.incarnation(victim), 2);
+
+    let events = assert_clean(&mut c);
+    let completes = events
+        .iter()
+        .filter(|e| {
+            e.pid == victim.0 && matches!(e.kind, EventKind::RejoinComplete { .. })
+        })
+        .count();
+    assert_eq!(completes, 2, "each life completed its own rejoin");
+}

@@ -205,7 +205,7 @@ where
             let Some(p) = procs.get_mut(&pid.0) else {
                 return;
             };
-            ep.run(pid, None, |ctx| p.on_start(ctx))
+            ep.run(pid, 0, None, |ctx| p.on_start(ctx))
         };
         dispatch(self, pid, &mut actions, None);
         self.ep.give_back(actions);
@@ -223,7 +223,7 @@ where
         let (r, mut actions) = {
             let DaemonCore { procs, ep, .. } = self;
             let p = procs.get_mut(&pid.0)?;
-            ep.run(pid, None, |ctx| f(p, ctx))
+            ep.run(pid, 0, None, |ctx| f(p, ctx))
         };
         dispatch(self, pid, &mut actions, None);
         self.ep.give_back(actions);
@@ -316,7 +316,7 @@ where
             let Some(p) = procs.get_mut(&to.0) else {
                 return;
             };
-            ep.run(to, dseq, |ctx| p.on_message(from, msg, ctx))
+            ep.run(to, 0, dseq, |ctx| p.on_message(from, msg, ctx))
         };
         dispatch(self, to, &mut actions, dseq);
         self.ep.give_back(actions);
@@ -360,7 +360,7 @@ where
                 let Some(p) = procs.get_mut(&pid.0) else {
                     continue;
                 };
-                ep.run(pid, cause, |ctx| p.on_timer(TimerId(tid), kind, ctx))
+                ep.run(pid, 0, cause, |ctx| p.on_timer(TimerId(tid), kind, ctx))
             };
             dispatch(self, pid, &mut actions, cause);
             self.ep.give_back(actions);
@@ -453,8 +453,9 @@ where
             peers.push(Some(wtx));
             let peer_addr = peer_addr.clone();
             let flag = Arc::clone(&shutdown);
+            let peer_index = d as u32;
             writers.push(thread::spawn(move || {
-                writer_loop(peer_addr, index, wrx, flag)
+                writer_loop(peer_addr, index, peer_index, wrx, flag)
             }));
         }
 
@@ -659,10 +660,17 @@ where
 /// Owns the outgoing connection to one peer: dial with exponential backoff,
 /// announce ourselves, then stream frames; on any write error, reconnect
 /// and resume with the frame that failed.
-fn writer_loop(addr: Addr, my_index: u32, rx: Receiver<Vec<u8>>, shutdown: Arc<AtomicBool>) {
+fn writer_loop(
+    addr: Addr,
+    my_index: u32,
+    peer_index: u32,
+    rx: Receiver<Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+) {
     const BACKOFF_START: Duration = Duration::from_millis(10);
     const BACKOFF_CAP: Duration = Duration::from_secs(1);
     let mut pending: Option<Vec<u8>> = None;
+    let mut attempt = 0u64;
     'session: loop {
         let mut backoff = BACKOFF_START;
         let mut conn = loop {
@@ -672,7 +680,8 @@ fn writer_loop(addr: Addr, my_index: u32, rx: Receiver<Vec<u8>>, shutdown: Arc<A
             match addr.connect() {
                 Ok(c) => break c,
                 Err(_) => {
-                    thread::sleep(backoff);
+                    attempt += 1;
+                    thread::sleep(jittered(backoff, my_index, peer_index, attempt));
                     backoff = (backoff * 2).min(BACKOFF_CAP);
                 }
             }
@@ -695,5 +704,60 @@ fn writer_loop(addr: Addr, my_index: u32, rx: Receiver<Vec<u8>>, shutdown: Arc<A
                 continue 'session;
             }
         }
+    }
+}
+
+/// Backoff with deterministic per-peer jitter: an FNV-1a hash of (dialer,
+/// peer, attempt) spreads each delay over `[base, base * 1.5)`, so after a
+/// daemon outage its whole fleet of dialers does not double 10ms → 1s in
+/// lockstep and stampede the recovering listener. Pure function of the
+/// triple — no wall-clock randomness, so redial schedules are replayable.
+fn jittered(base: Duration, me: u32, peer: u32, attempt: u64) -> Duration {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in me
+        .to_le_bytes()
+        .into_iter()
+        .chain(peer.to_le_bytes())
+        .chain(attempt.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let frac = u32::from((h >> 32) as u8); // 0..=255 of well-mixed bits
+    base + base * frac / 512
+}
+
+#[cfg(test)]
+mod backoff_tests {
+    use super::jittered;
+    use std::time::Duration;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(40);
+        for me in 0..4u32 {
+            for peer in 0..4u32 {
+                for attempt in 1..6u64 {
+                    let d = jittered(base, me, peer, attempt);
+                    assert_eq!(d, jittered(base, me, peer, attempt), "pure function");
+                    assert!(d >= base, "never shorter than the base delay");
+                    assert!(d < base + base / 2, "at most +50%: {d:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peers_decorrelate_instead_of_herding() {
+        // Across a 16-dialer fleet hitting the same recovering daemon, the
+        // first-retry delays must not all collapse onto one instant.
+        let base = Duration::from_millis(10);
+        let delays: std::collections::BTreeSet<Duration> =
+            (0..16u32).map(|me| jittered(base, me, 99, 1)).collect();
+        assert!(
+            delays.len() >= 8,
+            "thundering herd: only {} distinct delays across 16 dialers",
+            delays.len()
+        );
     }
 }

@@ -20,7 +20,8 @@
 use now_sim::Pid;
 
 use isis_core::{
-    CastData, CastKind, GroupId, GroupView, IsisMsg, MsgId, RelaySet, StabilityVector, VClock,
+    CastData, CastKind, DeliveryFloor, GroupId, GroupView, IsisMsg, MsgId, RelaySet,
+    StabilityVector, VClock,
 };
 use isis_hier::{
     CtlMsg, HierPayload, HierState, LargeGroupId, LbcastId, LbcastStatus, LeaderCmd, TreeMsg,
@@ -406,6 +407,23 @@ impl<P: Wire> Wire for RelaySet<P> {
     }
 }
 
+impl Wire for DeliveryFloor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cvt.encode(out);
+        self.fdel.encode(out);
+        self.adel.encode(out);
+        self.delivered.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(DeliveryFloor {
+            cvt: VClock::decode(r)?,
+            fdel: VClock::decode(r)?,
+            adel: r.u64()?,
+            delivered: Vec::decode(r)?,
+        })
+    }
+}
+
 impl<P: Wire, S: Wire> Wire for IsisMsg<P, S> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -461,6 +479,7 @@ impl<P: Wire, S: Wire> Wire for IsisMsg<P, S> {
                 view,
                 relay,
                 state,
+                floor,
             } => {
                 out.push(7);
                 gid.encode(out);
@@ -468,6 +487,7 @@ impl<P: Wire, S: Wire> Wire for IsisMsg<P, S> {
                 view.encode(out);
                 relay.encode(out);
                 state.encode(out);
+                floor.encode(out);
             }
             IsisMsg::Cast(c) => {
                 out.push(8);
@@ -538,6 +558,7 @@ impl<P: Wire, S: Wire> Wire for IsisMsg<P, S> {
                 view: GroupView::decode(r)?,
                 relay: RelaySet::decode(r)?,
                 state: Option::decode(r)?,
+                floor: Option::decode(r)?,
             },
             8 => IsisMsg::Cast(CastData::decode(r)?),
             9 => IsisMsg::AbcastOrder {

@@ -14,7 +14,8 @@ use now_sim::{prop_oneof, proptest};
 use now_sim::Pid;
 
 use isis_core::{
-    CastData, CastKind, GroupId, GroupView, IsisMsg, MsgId, RelaySet, StabilityVector, VClock,
+    CastData, CastKind, DeliveryFloor, GroupId, GroupView, IsisMsg, MsgId, RelaySet,
+    StabilityVector, VClock,
 };
 use isis_hier::{
     CtlMsg, HierPayload, HierState, HierView, LargeGroupId, LbcastId, LbcastStatus, LeafDesc,
@@ -65,6 +66,17 @@ fn cast_kind() -> impl Strategy<Value = CastKind> + Clone {
         Just(CastKind::Causal),
         Just(CastKind::Total),
     ]
+}
+
+fn delivery_floor() -> impl Strategy<Value = DeliveryFloor> + Clone {
+    (vclock(), vclock(), any::<u64>(), prop::collection::vec(msg_id(), 0..4)).prop_map(
+        |(cvt, fdel, adel, delivered)| DeliveryFloor {
+            cvt,
+            fdel,
+            adel,
+            delivered,
+        },
+    )
 }
 
 fn stab() -> impl Strategy<Value = StabilityVector> + Clone {
@@ -306,14 +318,18 @@ fn cluster_msg() -> impl Strategy<Value = ClusterMsg> + Clone {
             (gid(), any::<u64>()),
             group_view(),
             relay_set(),
-            prop_oneof![Just(None), hier_state().prop_map(Some)]
+            (
+                prop_oneof![Just(None), hier_state().prop_map(Some)],
+                prop_oneof![Just(None), delivery_floor().prop_map(Some)]
+            )
         )
-            .prop_map(|((gid, attempt), view, relay, state)| IsisMsg::InstallView {
+            .prop_map(|((gid, attempt), view, relay, (state, floor))| IsisMsg::InstallView {
                 gid,
                 attempt,
                 view,
                 relay,
-                state
+                state,
+                floor
             }),
         cast_data().prop_map(IsisMsg::Cast),
         ((gid(), any::<u64>(), any::<u64>()), msg_id()).prop_map(

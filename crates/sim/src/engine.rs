@@ -77,20 +77,28 @@ impl<M: Clone> Payload<M> {
 }
 
 enum Event {
-    Start(Pid),
+    /// `inc` pins the start to one incarnation: a restart→crash→restart
+    /// chain must not double-start the latest life.
+    Start { pid: Pid, inc: u32 },
     /// `wire` is the trace seq of the matching `NetSend` event (0 when the
     /// tracer was off at send time); it links the delivery back to its send.
     /// `payload` indexes the payload slab (`Sim::payloads`): keeping the
     /// message out of line keeps queue entries small, so heap sifts move a
-    /// few words instead of a whole message.
+    /// few words instead of a whole message. `inc` is the destination's
+    /// incarnation at send time: a delivery addressed to a previous life of
+    /// a restarted process is dropped as stale, never handed to the new one.
     Deliver {
         to: Pid,
         from: Pid,
         payload: u32,
         wire: u64,
+        inc: u32,
     },
-    Timer { pid: Pid, id: TimerId, kind: u32 },
+    /// `inc` is the owner's incarnation when the timer was armed; timers
+    /// from a previous life never fire into a restarted process.
+    Timer { pid: Pid, id: TimerId, kind: u32, inc: u32 },
     Crash(Pid),
+    Restart(Pid),
     SetPartition(Partition),
 }
 
@@ -121,6 +129,10 @@ struct Slot<P> {
     proc: P,
     node: NodeId,
     alive: bool,
+    /// How many times this pid has been restarted (0 = first life). Bumped
+    /// by [`Sim::restart`]; deliveries and timers are tagged with it so the
+    /// engine can drop traffic addressed to a previous life.
+    incarnation: u32,
 }
 
 /// Simulation-wide configuration.
@@ -185,6 +197,10 @@ pub struct Sim<P: Process> {
     /// indexed `[src][dst]` (grown on demand; `SimTime::ZERO` = no pending
     /// constraint) — pid-pair keyed tree walks were a route() hot spot.
     channel_clock: Vec<Vec<SimTime>>,
+    /// Factory for the fresh process state of a restarted pid, registered
+    /// via [`Sim::set_respawn`]; required by [`Sim::restart`] and
+    /// [`Sim::schedule_restart`] (but not [`Sim::restart_with`]).
+    respawn: Option<Box<dyn FnMut(Pid) -> P>>,
 }
 
 impl<P: Process> Sim<P> {
@@ -203,6 +219,7 @@ impl<P: Process> Sim<P> {
             free_payloads: Vec::new(),
             armed: Vec::new(),
             channel_clock: Vec::new(),
+            respawn: None,
         }
     }
 
@@ -259,12 +276,13 @@ impl<P: Process> Sim<P> {
             proc: proc_,
             node,
             alive: true,
+            incarnation: 0,
         }));
         self.ep.stats.ensure_proc(pid);
         if self.ep.tracing() {
             self.trace(pid, None, TraceKind::Spawn { node: node.0 });
         }
-        self.push(self.ep.now, Event::Start(pid));
+        self.push(self.ep.now, Event::Start { pid, inc: 0 });
         pid
     }
 
@@ -364,6 +382,16 @@ impl<P: Process> Sim<P> {
             .is_some_and(|s| s.alive)
     }
 
+    /// The current incarnation of `pid`: 0 for the first life, bumped by
+    /// every [`Sim::restart`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn incarnation(&self, pid: Pid) -> u32 {
+        self.slot(pid).incarnation
+    }
+
     /// The node hosting `pid`.
     pub fn node_of(&self, pid: Pid) -> NodeId {
         self.slot(pid).node
@@ -437,10 +465,71 @@ impl<P: Process> Sim<P> {
 
     /// Crashes `pid` immediately: it stops executing and every in-flight
     /// message or timer addressed to it is silently discarded.
+    ///
+    /// Crashing an already-dead pid is an explicit no-op (chaos schedules
+    /// can double-fire a crash): no trace event, no state change.
     pub fn crash(&mut self, pid: Pid) {
         if self.kill(pid) && self.ep.tracing() {
             self.trace(pid, None, TraceKind::Crash);
         }
+    }
+
+    /// Registers the factory that builds the fresh process state of a
+    /// restarted pid. Required before [`Sim::restart`] or
+    /// [`Sim::schedule_restart`]; [`Sim::restart_with`] works without it.
+    pub fn set_respawn(&mut self, f: impl FnMut(Pid) -> P + 'static) {
+        self.respawn = Some(Box::new(f));
+    }
+
+    /// Restarts a crashed `pid` under a fresh incarnation number, with
+    /// process state built by the registered respawn factory. The new life
+    /// shares the pid but nothing else: messages and timers addressed to a
+    /// previous incarnation are dropped as stale at delivery time (counted
+    /// in `Stats::messages_stale_dropped` and traced as `StaleDrop`), so a
+    /// restart can never resurrect zombie state.
+    ///
+    /// Returns the new incarnation number, or `None` (a no-op) if `pid` is
+    /// still alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid or if no respawn factory is registered.
+    pub fn restart(&mut self, pid: Pid) -> Option<u32> {
+        if self.is_alive(pid) {
+            return None;
+        }
+        let mut f = self
+            .respawn
+            .take()
+            .expect("Sim::restart requires a respawn factory (Sim::set_respawn)");
+        let fresh = f(pid);
+        self.respawn = Some(f);
+        self.restart_with(pid, fresh)
+    }
+
+    /// [`Sim::restart`] with explicit fresh process state (no factory
+    /// needed). No-op returning `None` if `pid` is alive.
+    pub fn restart_with(&mut self, pid: Pid, proc_: P) -> Option<u32> {
+        let slot = self.procs[pid.0 as usize].as_mut().expect("unknown pid");
+        if slot.alive {
+            return None;
+        }
+        slot.proc = proc_;
+        slot.alive = true;
+        slot.incarnation += 1;
+        let inc = slot.incarnation;
+        if self.ep.tracing() {
+            self.trace(pid, None, TraceKind::Restart { incarnation: u64::from(inc) });
+        }
+        self.push(self.ep.now, Event::Start { pid, inc });
+        Some(inc)
+    }
+
+    /// Schedules a restart of `pid` at absolute time `at` (via the respawn
+    /// factory). A no-op at fire time if the pid is alive then.
+    pub fn schedule_restart(&mut self, pid: Pid, at: SimTime) {
+        assert!(at >= self.ep.now, "cannot schedule a restart in the past");
+        self.push(at, Event::Restart(pid));
     }
 
     /// Crashes every process hosted on `node` (a workstation power failure).
@@ -471,6 +560,17 @@ impl<P: Process> Sim<P> {
     /// Replaces the network partition state immediately.
     pub fn set_partition(&mut self, p: Partition) {
         self.partition = p;
+    }
+
+    /// Heals any active partition. Healing an already-connected network is
+    /// an explicit no-op (chaos schedules can double-fire `Heal`); returns
+    /// whether a partition was actually cleared.
+    pub fn heal(&mut self) -> bool {
+        if self.partition.is_healed() {
+            return false;
+        }
+        self.partition = Partition::connected();
+        true
     }
 
     /// Schedules a partition change at absolute time `at`.
@@ -516,7 +616,7 @@ impl<P: Process> Sim<P> {
             // back) while the endpoint borrows its disjoint fields.
             let Sim { procs, ep, .. } = self;
             let slot = procs[pid.0 as usize].as_mut().expect("unknown pid");
-            ep.run(pid, cause, |ctx| f(&mut slot.proc, ctx))
+            ep.run(pid, slot.incarnation, cause, |ctx| f(&mut slot.proc, ctx))
         };
         dispatch(self, pid, &mut actions, cause);
         self.ep.give_back(actions);
@@ -593,7 +693,8 @@ impl<P: Process> Sim<P> {
             *clock = arrival;
         }
         let payload = self.store_payload(payload);
-        self.push(arrival, Event::Deliver { to, from, payload, wire });
+        let inc = self.slot(to).incarnation;
+        self.push(arrival, Event::Deliver { to, from, payload, wire, inc });
     }
 
     /// Executes the next pending event. Returns `false` when the queue is
@@ -606,18 +707,36 @@ impl<P: Process> Sim<P> {
             debug_assert!(entry.at >= self.ep.now, "event queue went backwards");
             self.ep.now = entry.at;
             match entry.ev {
-                Event::Start(pid) => {
-                    if self.is_alive(pid) {
+                Event::Start { pid, inc } => {
+                    if self.is_alive(pid) && self.slot(pid).incarnation == inc {
                         self.invoke(pid, |p, ctx| p.on_start(ctx));
                     }
                 }
-                Event::Deliver { to, from, payload, wire } => {
+                Event::Deliver { to, from, payload, wire, inc } => {
                     let payload = self.take_payload(payload);
                     let link = (wire > 0).then_some(wire);
                     if !self.is_alive(to) {
                         self.ep.stats.record_drop(to);
                         if wire > 0 {
                             self.trace(from, link, TraceKind::NetDrop { to: to.0, send: wire });
+                        }
+                        continue;
+                    }
+                    if self.slot(to).incarnation != inc {
+                        // Addressed to a previous life of a restarted
+                        // process: dropping (counted, traced) is what keeps
+                        // a restart from resurrecting zombie state.
+                        self.ep.stats.record_stale_drop(to);
+                        if wire > 0 {
+                            self.trace(
+                                from,
+                                link,
+                                TraceKind::StaleDrop {
+                                    to: to.0,
+                                    incarnation: u64::from(inc),
+                                    send: wire,
+                                },
+                            );
                         }
                         continue;
                     }
@@ -651,17 +770,18 @@ impl<P: Process> Sim<P> {
                     };
                     self.invoke_caused(to, cause, |p, ctx| p.on_message(from, payload.into_msg(), ctx));
                 }
-                Event::Timer { pid, id, kind } => {
+                Event::Timer { pid, id, kind, inc } => {
                     // A fired timer leaves `armed` immediately, whether or
                     // not its owner still runs; cancelled or stale ids are
-                    // simply absent.
+                    // simply absent. The incarnation gate keeps a previous
+                    // life's timers from firing into a restarted process.
                     match self.armed.binary_search_by_key(&id, |&(t, _)| t) {
                         Ok(i) => {
                             self.armed.remove(i);
                         }
                         Err(_) => continue,
                     }
-                    if self.is_alive(pid) {
+                    if self.is_alive(pid) && self.slot(pid).incarnation == inc {
                         let cause = match self.ep.tracing() {
                             true => Some(self.trace(
                                 pid,
@@ -674,6 +794,9 @@ impl<P: Process> Sim<P> {
                     }
                 }
                 Event::Crash(pid) => self.crash(pid),
+                Event::Restart(pid) => {
+                    self.restart(pid);
+                }
                 Event::SetPartition(p) => self.partition = p,
             }
             return true;
@@ -729,6 +852,11 @@ impl<P: Process> Sim<P> {
             false => 0,
         };
         let payload = self.store_payload(Payload::One(msg));
+        let inc = self
+            .procs
+            .get(to.0 as usize)
+            .and_then(Option::as_ref)
+            .map_or(0, |s| s.incarnation);
         self.push(
             self.ep.now + self.cfg.net.loopback,
             Event::Deliver {
@@ -736,6 +864,7 @@ impl<P: Process> Sim<P> {
                 from: Pid::EXTERNAL,
                 payload,
                 wire,
+                inc,
             },
         );
     }
@@ -775,7 +904,12 @@ impl<P: Process> Transport<P::Msg> for Sim<P> {
                 // Ids are handed out monotonically, so this is a push.
                 debug_assert!(self.armed.last().is_none_or(|&(last, _)| last < id));
                 self.armed.push((id, at));
-                self.push(at, Event::Timer { pid: from, id, kind });
+                let inc = self
+                    .procs
+                    .get(from.0 as usize)
+                    .and_then(Option::as_ref)
+                    .map_or(0, |s| s.incarnation);
+                self.push(at, Event::Timer { pid: from, id, kind, inc });
             }
             Action::CancelTimer(id) => {
                 if let Ok(i) = self.armed.binary_search_by_key(&id, |&(t, _)| t) {
@@ -1159,6 +1293,140 @@ mod tests {
             Some(deliver.seq),
             "reply send must be caused by the delivery that triggered it"
         );
+    }
+
+    #[test]
+    fn restart_revives_under_a_fresh_incarnation_with_fresh_state() {
+        let (mut sim, a, b) = two_procs();
+        sim.set_respawn(|_| Echo::default());
+        sim.invoke(a, |_, ctx| ctx.send(b, "ping".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.process(b).got.len(), 1);
+
+        sim.crash(b);
+        assert_eq!(sim.restart(b), Some(1));
+        assert!(sim.is_alive(b));
+        assert_eq!(sim.incarnation(b), 1);
+        assert!(sim.process(b).got.is_empty(), "restart installs fresh state");
+
+        // The new life sends and receives normally.
+        sim.invoke(a, |_, ctx| ctx.send(b, "ping".into()));
+        sim.run_to_quiescence(SimTime(2_000_000));
+        assert_eq!(sim.process(b).got.len(), 1);
+
+        // A second crash+restart bumps again.
+        sim.crash(b);
+        assert_eq!(sim.restart(b), Some(2));
+        assert_eq!(sim.incarnation(b), 2);
+    }
+
+    #[test]
+    fn restart_of_a_live_process_is_a_noop() {
+        let (mut sim, _, b) = two_procs();
+        sim.set_respawn(|_| Echo::default());
+        assert_eq!(sim.restart(b), None);
+        assert_eq!(sim.incarnation(b), 0);
+    }
+
+    #[test]
+    fn double_crash_is_a_noop() {
+        let (mut sim, _, b) = two_procs();
+        sim.set_tracer(Tracer::new().retain_all());
+        sim.crash(b);
+        sim.crash(b); // chaos schedules can double-fire; must not panic
+        assert!(!sim.is_alive(b));
+        let tr = sim.take_tracer().expect("tracer");
+        let crashes = tr
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, now_trace::EventKind::Crash))
+            .count();
+        assert_eq!(crashes, 1, "the second crash traces nothing");
+    }
+
+    #[test]
+    fn in_flight_messages_to_a_previous_incarnation_are_stale_dropped() {
+        let (mut sim, a, b) = two_procs();
+        sim.set_tracer(Tracer::new().retain_all());
+        // The ping is in flight (arrives at t=1 on the ideal link) when b
+        // crashes and restarts: it is addressed to incarnation 0 and must
+        // not reach incarnation 1.
+        sim.invoke(a, |_, ctx| ctx.send(b, "ping".into()));
+        sim.crash(b);
+        sim.restart_with(b, Echo::default());
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert!(sim.process(b).got.is_empty(), "stale delivery must not revive");
+        assert_eq!(sim.stats().messages_stale_dropped, 1);
+        assert_eq!(sim.stats().messages_dropped, 1, "stale drops count as drops");
+        let tr = sim.take_tracer().expect("tracer");
+        assert!(
+            tr.events()
+                .iter()
+                .any(|e| matches!(e.kind, now_trace::EventKind::StaleDrop { to, .. } if to == b.0)),
+            "the stale drop is traced"
+        );
+    }
+
+    #[test]
+    fn timers_of_a_previous_incarnation_do_not_fire() {
+        let (mut sim, _, b) = two_procs();
+        sim.invoke(b, |_, ctx| ctx.set_timer(SimDuration::from_millis(1), 7));
+        sim.crash(b);
+        sim.restart_with(b, Echo::default());
+        sim.run_to_quiescence(SimTime(10_000_000));
+        assert!(
+            sim.process(b).timer_fired.is_empty(),
+            "the old life's timer must not fire in the new life"
+        );
+        assert_eq!(sim.armed_timers(), 0, "the stale timer entry still drains");
+    }
+
+    #[test]
+    fn scheduled_restart_fires_at_time_via_the_factory() {
+        let (mut sim, a, b) = two_procs();
+        sim.set_respawn(|_| Echo::default());
+        sim.crash(b);
+        sim.schedule_restart(b, SimTime(500));
+        sim.run_until(SimTime(400));
+        assert!(!sim.is_alive(b));
+        sim.run_until(SimTime(600));
+        assert!(sim.is_alive(b));
+        assert_eq!(sim.incarnation(b), 1);
+        // Delivery to the new life works.
+        sim.invoke(a, |_, ctx| ctx.send(b, "hello".into()));
+        sim.run_to_quiescence(SimTime(1_000_000));
+        assert_eq!(sim.process(b).got.len(), 1);
+    }
+
+    #[test]
+    fn scheduled_restart_of_a_live_pid_is_a_noop_at_fire_time() {
+        let (mut sim, _, b) = two_procs();
+        sim.set_respawn(|_| Echo::default());
+        sim.schedule_restart(b, SimTime(500));
+        sim.run_until(SimTime(1_000));
+        assert!(sim.is_alive(b));
+        assert_eq!(sim.incarnation(b), 0, "no bump when the pid never died");
+    }
+
+    #[test]
+    fn restart_traces_the_new_incarnation() {
+        let (mut sim, _, b) = two_procs();
+        sim.set_tracer(Tracer::new().retain_all());
+        sim.crash(b);
+        sim.restart_with(b, Echo::default());
+        let tr = sim.take_tracer().expect("tracer");
+        assert!(tr.events().iter().any(|e| {
+            matches!(e.kind, now_trace::EventKind::Restart { incarnation: 1 }) && e.pid == b.0
+        }));
+    }
+
+    #[test]
+    fn heal_is_a_noop_when_already_connected() {
+        let (mut sim, _, b) = two_procs();
+        assert!(!sim.heal(), "healing a healed network is a no-op");
+        sim.set_partition(Partition::split([sim.node_of(b)]));
+        assert!(sim.heal(), "an active partition is actually cleared");
+        assert!(!sim.heal(), "and the second heal is a no-op again");
     }
 
     #[test]

@@ -128,6 +128,9 @@ pub struct Stats {
     pub messages_delivered: u64,
     /// Total messages dropped by the network (loss or partition).
     pub messages_dropped: u64,
+    /// Of the dropped messages, those addressed to a previous incarnation
+    /// of a restarted process (stale-life traffic, also in `messages_dropped`).
+    pub messages_stale_dropped: u64,
     /// Total payload bytes sent.
     pub bytes_sent: u64,
     /// Per-process counters, indexed by `Pid.0`.
@@ -201,6 +204,13 @@ impl Stats {
             self.ensure_proc(to);
             self.per_proc[to.0 as usize].dropped_to += 1;
         }
+    }
+
+    /// Counts one drop of a message addressed to a previous incarnation of
+    /// `to` (a restarted process). Stale drops are also ordinary drops.
+    pub fn record_stale_drop(&mut self, to: Pid) {
+        self.messages_stale_dropped += 1;
+        self.record_drop(to);
     }
 
     /// Per-process counters for `pid` (zeroes if it never communicated).
@@ -337,6 +347,7 @@ impl Stats {
         self.messages_sent = 0;
         self.messages_delivered = 0;
         self.messages_dropped = 0;
+        self.messages_stale_dropped = 0;
         self.bytes_sent = 0;
         for p in &mut self.per_proc {
             *p = ProcStats::default();

@@ -209,9 +209,16 @@ impl<M> Endpoint<M> {
     /// into the endpoint-owned scratch buffer. Returns `f`'s result and the
     /// filled buffer; interpret it with [`dispatch`] and hand it back via
     /// [`Endpoint::give_back`] so steady-state callbacks never allocate.
+    ///
+    /// `incarnation` is the hosted process's current life number (0 for the
+    /// first life; the sim bumps it on every restart, real backends that
+    /// never restart in place pass 0). It is exposed to protocol layers via
+    /// [`Ctx::incarnation`] so a recovering process can tell a rejoin from
+    /// a first join.
     pub fn run<R>(
         &mut self,
         me: Pid,
+        incarnation: u32,
         cause: Option<u64>,
         f: impl FnOnce(&mut Ctx<'_, M>) -> R,
     ) -> (R, Vec<Action<M>>) {
@@ -221,6 +228,7 @@ impl<M> Endpoint<M> {
             let mut ctx = Ctx {
                 now: *now,
                 me,
+                incarnation,
                 rng,
                 stats,
                 obs,
@@ -250,6 +258,7 @@ impl<M> Endpoint<M> {
 pub struct Ctx<'a, M> {
     pub(crate) now: SimTime,
     pub(crate) me: Pid,
+    pub(crate) incarnation: u32,
     pub(crate) rng: &'a mut DetRng,
     pub(crate) stats: &'a mut Stats,
     pub(crate) obs: &'a mut ObservationLog,
@@ -270,6 +279,13 @@ impl<'a, M> Ctx<'a, M> {
     /// The pid of the process being called.
     pub fn me(&self) -> Pid {
         self.me
+    }
+
+    /// This process's incarnation number: 0 in its first life, bumped on
+    /// every restart. A recovering process (incarnation > 0) uses this to
+    /// tell a rejoin from a first join.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
     }
 
     /// Sends `msg` to `to`. Delivery is asynchronous and may fail if the
@@ -427,7 +443,7 @@ mod tests {
         let mut ep: Endpoint<String> = Endpoint::new(9);
         ep.set_now(SimTime(50));
         let me = Pid(3);
-        let (got, mut actions) = ep.run(me, None, |ctx| {
+        let (got, mut actions) = ep.run(me, 0, None, |ctx| {
             assert_eq!(ctx.me(), me);
             assert_eq!(ctx.now(), SimTime(50));
             ctx.send(Pid(4), "a".into());
@@ -453,7 +469,7 @@ mod tests {
     #[test]
     fn endpoint_scratch_buffer_is_reused() {
         let mut ep: Endpoint<u32> = Endpoint::new(1);
-        let (_, mut a) = ep.run(Pid(0), None, |ctx| {
+        let (_, mut a) = ep.run(Pid(0), 0, None, |ctx| {
             for i in 0..16 {
                 ctx.send(Pid(1), i);
             }
@@ -461,7 +477,7 @@ mod tests {
         let cap = a.capacity();
         a.clear();
         ep.give_back(a);
-        let (_, b) = ep.run(Pid(0), None, |ctx| ctx.send(Pid(1), 1));
+        let (_, b) = ep.run(Pid(0), 0, None, |ctx| ctx.send(Pid(1), 1));
         assert_eq!(b.capacity(), cap, "scratch buffer must round-trip");
         ep.give_back(b);
     }
@@ -469,9 +485,9 @@ mod tests {
     #[test]
     fn endpoint_timer_ids_are_monotonic_across_callbacks() {
         let mut ep: Endpoint<u32> = Endpoint::new(1);
-        let (t1, a) = ep.run(Pid(0), None, |ctx| ctx.set_timer(SimDuration::ZERO, 0));
+        let (t1, a) = ep.run(Pid(0), 0, None, |ctx| ctx.set_timer(SimDuration::ZERO, 0));
         ep.give_back(a);
-        let (t2, b) = ep.run(Pid(7), None, |ctx| ctx.set_timer(SimDuration::ZERO, 0));
+        let (t2, b) = ep.run(Pid(7), 0, None, |ctx| ctx.set_timer(SimDuration::ZERO, 0));
         ep.give_back(b);
         assert!(t2 > t1, "timer ids must never repeat across processes");
     }
@@ -480,7 +496,7 @@ mod tests {
     fn endpoint_stats_and_observations_flow_through_ctx() {
         let mut ep: Endpoint<u32> = Endpoint::new(2);
         ep.set_now(SimTime(7));
-        let (_, a) = ep.run(Pid(1), None, |ctx| {
+        let (_, a) = ep.run(Pid(1), 0, None, |ctx| {
             ctx.bump("x.count");
             ctx.observe("y", 1.5);
         });

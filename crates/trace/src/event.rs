@@ -47,6 +47,12 @@ pub enum EventKind {
     NetDrop { to: u32, send: u64 },
     /// A timer of the given kind fired at this pid.
     TimerFire { kind: u64 },
+    /// The process was respawned by the recovery injector under a fresh
+    /// incarnation number (1 = first restart).
+    Restart { incarnation: u64 },
+    /// A message (wire id `send`) addressed to a previous incarnation of
+    /// `to` was dropped at delivery time instead of resurrecting old state.
+    StaleDrop { to: u32, incarnation: u64, send: u64 },
 
     /// A group broadcast was submitted (`msg.view` is the sender's view).
     CastSend { gid: u64, msg: MsgKey, vt: Vec<(u32, u64)> },
@@ -89,6 +95,11 @@ pub enum EventKind {
     /// Per-member routing-storage sample; `bound` is the configured ceiling
     /// (0 = unbounded role, not checked).
     StorageSample { lgid: u64, bytes: u64, bound: u64 },
+    /// A restarted process (incarnation > 0) started rejoining `lgid`.
+    RejoinBegin { lgid: u64, incarnation: u64 },
+    /// A restarted process finished rejoining `lgid`: it is a leaf member
+    /// again (of `leaf`), with every role re-earned rather than resumed.
+    RejoinComplete { lgid: u64, leaf: u64, incarnation: u64 },
 
     /// A toolkit client sent request (`client`, `rseq`) to a service group.
     ReqSend { client: u32, rseq: u64 },
@@ -124,6 +135,8 @@ impl EventKind {
             EventKind::NetDeliver { .. } => "NET_DELIVER",
             EventKind::NetDrop { .. } => "NET_DROP",
             EventKind::TimerFire { .. } => "TIMER",
+            EventKind::Restart { .. } => "RESTART",
+            EventKind::StaleDrop { .. } => "STALE_DROP",
             EventKind::CastSend { .. } => "CAST_SEND",
             EventKind::CastDeliver { .. } => "CAST_DELIVER",
             EventKind::ViewInstall { .. } => "VIEW_INSTALL",
@@ -135,6 +148,8 @@ impl EventKind {
             EventKind::LbcastSubmit { .. } => "LBCAST_SUBMIT",
             EventKind::LbcastDeliver { .. } => "LBCAST_DELIVER",
             EventKind::StorageSample { .. } => "STORAGE_SAMPLE",
+            EventKind::RejoinBegin { .. } => "REJOIN_BEGIN",
+            EventKind::RejoinComplete { .. } => "REJOIN_COMPLETE",
             EventKind::ReqSend { .. } => "REQ_SEND",
             EventKind::ReqExec { .. } => "REQ_EXEC",
             EventKind::ReqReply { .. } => "REQ_REPLY",
@@ -154,7 +169,9 @@ impl EventKind {
             | EventKind::LeaderTakeover { lgid }
             | EventKind::LbcastSubmit { lgid, .. }
             | EventKind::LbcastDeliver { lgid, .. }
-            | EventKind::StorageSample { lgid, .. } => Some(*lgid),
+            | EventKind::StorageSample { lgid, .. }
+            | EventKind::RejoinBegin { lgid, .. }
+            | EventKind::RejoinComplete { lgid, .. } => Some(*lgid),
             _ => None,
         }
     }
@@ -191,6 +208,14 @@ impl EventKind {
                 vec![("to", to.to_string()), ("send", send.to_string())]
             }
             EventKind::TimerFire { kind } => vec![("kind", kind.to_string())],
+            EventKind::Restart { incarnation } => {
+                vec![("incarnation", incarnation.to_string())]
+            }
+            EventKind::StaleDrop { to, incarnation, send } => vec![
+                ("to", to.to_string()),
+                ("incarnation", incarnation.to_string()),
+                ("send", send.to_string()),
+            ],
             EventKind::CastSend { gid, msg, vt } => vec![
                 ("gid", gid.to_string()),
                 ("sender", msg.sender.to_string()),
@@ -240,6 +265,15 @@ impl EventKind {
                 ("lgid", lgid.to_string()),
                 ("bytes", bytes.to_string()),
                 ("bound", bound.to_string()),
+            ],
+            EventKind::RejoinBegin { lgid, incarnation } => vec![
+                ("lgid", lgid.to_string()),
+                ("incarnation", incarnation.to_string()),
+            ],
+            EventKind::RejoinComplete { lgid, leaf, incarnation } => vec![
+                ("lgid", lgid.to_string()),
+                ("leaf", leaf.to_string()),
+                ("incarnation", incarnation.to_string()),
             ],
             EventKind::ReqSend { client, rseq }
             | EventKind::ReqExec { client, rseq }
@@ -331,6 +365,12 @@ fn parse_kind(name: &str, f: &BTreeMap<&str, &str>) -> Option<EventKind> {
         "NET_DELIVER" => EventKind::NetDeliver { from: num(f, "from")?, send: num(f, "send")? },
         "NET_DROP" => EventKind::NetDrop { to: num(f, "to")?, send: num(f, "send")? },
         "TIMER" => EventKind::TimerFire { kind: num(f, "kind")? },
+        "RESTART" => EventKind::Restart { incarnation: num(f, "incarnation")? },
+        "STALE_DROP" => EventKind::StaleDrop {
+            to: num(f, "to")?,
+            incarnation: num(f, "incarnation")?,
+            send: num(f, "send")?,
+        },
         "CAST_SEND" => EventKind::CastSend {
             gid: num(f, "gid")?,
             msg: msg_parse(f)?,
@@ -377,6 +417,15 @@ fn parse_kind(name: &str, f: &BTreeMap<&str, &str>) -> Option<EventKind> {
             lgid: num(f, "lgid")?,
             bytes: num(f, "bytes")?,
             bound: num(f, "bound")?,
+        },
+        "REJOIN_BEGIN" => EventKind::RejoinBegin {
+            lgid: num(f, "lgid")?,
+            incarnation: num(f, "incarnation")?,
+        },
+        "REJOIN_COMPLETE" => EventKind::RejoinComplete {
+            lgid: num(f, "lgid")?,
+            leaf: num(f, "leaf")?,
+            incarnation: num(f, "incarnation")?,
         },
         "REQ_SEND" => EventKind::ReqSend { client: num(f, "client")?, rseq: num(f, "rseq")? },
         "REQ_EXEC" => EventKind::ReqExec { client: num(f, "client")?, rseq: num(f, "rseq")? },

@@ -18,9 +18,16 @@
 //! |           | per-receiver gseq strictly increases within a view          |
 //! | VS-STORE  | bounded view storage: per-member routing state stays under  |
 //! |           | the configured ceiling (E7)                                 |
+//! | VS-REJOIN | incarnation safety: a restarted pid delivers nothing in a   |
+//! |           | group before installing a post-restart view there, never    |
+//! |           | from a view preceding its rejoin view, and never a message  |
+//! |           | its previous life already delivered                         |
 //!
 //! State is per-(group, pid) and resets on view installs / leaves / crashes,
 //! so memory stays proportional to live membership, not run length.
+//! VS-REJOIN keeps "ghost" delivery floors of each dead pid's last life
+//! (bounded by the pid count) so a forged resurrection is caught even if it
+//! replays traffic byte-for-byte.
 
 use std::collections::BTreeMap;
 
@@ -74,6 +81,17 @@ pub struct Monitors {
     slots: BTreeMap<(u64, u64, u64), (MsgKey, u32)>,
     /// VS-TO: (gid, pid) -> (view, last delivered gseq).
     last_gseq: BTreeMap<(u64, u32), (u64, u64)>,
+    /// VS-REJOIN: delivery floors of a dead pid's last life, stashed at
+    /// crash/halt: (gid, pid) -> (view, delivered seq per sender).
+    ghosts: BTreeMap<(u64, u32), (u64, BTreeMap<u32, u64>)>,
+    /// VS-REJOIN: total-order floor of a dead pid's last life:
+    /// (gid, pid) -> (view, last delivered gseq).
+    ghost_gseq: BTreeMap<(u64, u32), (u64, u64)>,
+    /// VS-REJOIN: restarted pids -> gid -> first view installed since the
+    /// latest restart (the rejoin view). A pid key appears on `Restart` and
+    /// its gid map restarts empty, so "delivered before rejoining" is a
+    /// lookup miss.
+    rejoined: BTreeMap<u32, BTreeMap<u64, u64>>,
     /// Count of events observed (exposed so runs can assert coverage).
     observed: u64,
 }
@@ -139,8 +157,80 @@ impl Monitors {
                 // Per-view receiver state starts over.
                 self.causal.insert((*gid, ev.pid), (*view, BTreeMap::new()));
                 self.last_gseq.insert((*gid, ev.pid), (*view, 0));
+                // A view-1 install means `gid` now names a brand-new group
+                // instance (gids are slot-based and reused after a dissolve,
+                // and view numbering restarts at 1): floors stashed from the
+                // previous instance no longer describe this group.
+                if *view == 1 {
+                    self.ghosts.retain(|(g, _), _| g != gid);
+                    self.ghost_gseq.retain(|(g, _), _| g != gid);
+                }
+                // VS-REJOIN: a restarted pid's first install in a group is
+                // its rejoin view there.
+                if let Some(r) = self.rejoined.get_mut(&ev.pid) {
+                    r.entry(*gid).or_insert(*view);
+                }
             }
             EventKind::CastDeliver { gid, view, msg, gseq, relay, vt } => {
+                // VS-REJOIN: nothing may be delivered at a restarted pid in
+                // a group it has not rejoined, nor from a view preceding the
+                // rejoin view — a late message for the previous life must be
+                // dropped by the engine, so seeing one delivered means a
+                // zombie resurrected.
+                if let Some(r) = self.rejoined.get(&ev.pid) {
+                    match r.get(gid) {
+                        None => out.push(v(
+                            "VS-REJOIN",
+                            vec![ev.pid, msg.sender],
+                            format!(
+                                "group {gid}: restarted p{} delivered p{}@v{}c{} before \
+                                 installing any post-restart view of the group",
+                                ev.pid, msg.sender, msg.view, msg.seq
+                            ),
+                        )),
+                        Some(rv) if *view < *rv => out.push(v(
+                            "VS-REJOIN",
+                            vec![ev.pid, msg.sender],
+                            format!(
+                                "group {gid}: restarted p{} delivered p{}@v{}c{} in view \
+                                 {view}, preceding its rejoin view {rv}",
+                                ev.pid, msg.sender, msg.view, msg.seq
+                            ),
+                        )),
+                        Some(_) => {}
+                    }
+                }
+                // VS-REJOIN: no double-delivery across incarnations — the
+                // previous life's floors are final.
+                if let Some((gv, del)) = self.ghosts.get(&(*gid, ev.pid)) {
+                    if msg.view == *gv
+                        && msg.seq > 0
+                        && msg.seq <= del.get(&msg.sender).copied().unwrap_or(0)
+                    {
+                        out.push(v(
+                            "VS-REJOIN",
+                            vec![ev.pid, msg.sender],
+                            format!(
+                                "group {gid}: p{} re-delivered p{}@v{}c{}, already delivered \
+                                 by its previous incarnation",
+                                ev.pid, msg.sender, msg.view, msg.seq
+                            ),
+                        ));
+                    }
+                }
+                if let Some((gv, lg)) = self.ghost_gseq.get(&(*gid, ev.pid)) {
+                    if *view == *gv && *gseq > 0 && *gseq <= *lg {
+                        out.push(v(
+                            "VS-REJOIN",
+                            vec![ev.pid],
+                            format!(
+                                "group {gid} view {view}: p{} re-delivered gseq {gseq}, \
+                                 already past {lg} in its previous incarnation",
+                                ev.pid
+                            ),
+                        ));
+                    }
+                }
                 if *relay {
                     // Flush catch-up: fold into receiver state, no checks —
                     // relays legitimately cross the view boundary.
@@ -255,10 +345,39 @@ impl Monitors {
                 self.drop_member(*gid, ev.pid);
             }
             EventKind::Crash | EventKind::Halt => {
+                // Stash this life's delivery floors before dropping live
+                // state: a later incarnation is checked against them.
+                let keys: Vec<(u64, u32)> = self
+                    .causal
+                    .keys()
+                    .filter(|(_, p)| *p == ev.pid)
+                    .copied()
+                    .collect();
+                for k in keys {
+                    if let Some(st) = self.causal.get(&k) {
+                        self.ghosts.insert(k, st.clone());
+                    }
+                }
+                let gkeys: Vec<(u64, u32)> = self
+                    .last_gseq
+                    .keys()
+                    .filter(|(_, p)| *p == ev.pid)
+                    .copied()
+                    .collect();
+                for k in gkeys {
+                    if let Some(st) = self.last_gseq.get(&k) {
+                        self.ghost_gseq.insert(k, *st);
+                    }
+                }
                 let gids: Vec<u64> = self.live.keys().copied().collect();
                 for gid in gids {
                     self.drop_member(gid, ev.pid);
                 }
+            }
+            EventKind::Restart { .. } => {
+                // A fresh life: no group rejoined yet. Roles and views must
+                // be re-earned, never resumed.
+                self.rejoined.insert(ev.pid, BTreeMap::new());
             }
             EventKind::StorageSample { lgid, bytes, bound } if *bound > 0 && *bytes > *bound => {
                 out.push(v(

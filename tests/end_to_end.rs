@@ -100,7 +100,7 @@ fn transport_refactor_digests_are_stable() {
             st.bytes_sent,
             c.sim.now().as_micros(),
         ),
-        (3063, 3063, 436944, 30000007),
+        (3063, 3063, 437008, 30000007),
         "core digest drifted: engine/transport behavior changed"
     );
 
@@ -120,7 +120,7 @@ fn transport_refactor_digests_are_stable() {
             st.bytes_sent,
             h.sim.now().as_micros(),
         ),
-        (15451, 15451, 792872, 30010886),
+        (15451, 15451, 793192, 30010934),
         "hierarchy digest drifted: engine/transport behavior changed"
     );
 }
