@@ -43,17 +43,17 @@ fn bench_vclock(c: &mut Criterion) {
 
 fn bench_sim_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_step");
-    g.sample_size(15);
+    g.sample_size(15).time_budget(std::time::Duration::from_secs(5));
     for n in [16usize, 64] {
+        let hops = 300u64;
         g.bench_function(format!("relay_ring_n{n}"), |b| {
             b.iter_batched(
-                || {
-                    let (mut sim, pids) = enginebench::relay_ring(n, 5);
-                    sim.run_for(SimDuration::from_secs(1));
-                    (sim, pids)
-                },
+                || enginebench::relay_ring(n, 5),
                 |(mut sim, pids)| {
-                    assert_eq!(enginebench::run_relay_ring(&mut sim, &pids, 20_000), 20_001);
+                    assert_eq!(
+                        enginebench::run_relay_ring(&mut sim, &pids, hops),
+                        n as u64 * (hops + 1)
+                    );
                 },
                 BatchSize::PerIteration,
             );
@@ -64,15 +64,11 @@ fn bench_sim_step(c: &mut Criterion) {
 
 fn bench_multicast(c: &mut Criterion) {
     let mut g = c.benchmark_group("multicast");
-    g.sample_size(15);
+    g.sample_size(15).time_budget(std::time::Duration::from_secs(5));
     for n in [16usize, 64, 256] {
         g.bench_function(format!("fanout_n{n}"), |b| {
             b.iter_batched(
-                || {
-                    let (mut sim, hub) = enginebench::fanout_star(n, 6);
-                    sim.run_for(SimDuration::from_secs(1));
-                    (sim, hub)
-                },
+                || enginebench::fanout_star(n, 6),
                 |(mut sim, hub)| {
                     assert_eq!(enginebench::run_fanout_star(&mut sim, hub, 200), 200);
                 },

@@ -1,15 +1,57 @@
 //! Raw-engine microbench fixtures: tiny processes with no protocol logic
 //! on top, so `sim_step/*` and `multicast/*` time the simulator itself —
 //! event pop, route, deliver, and multicast fan-out — rather than ISIS.
+//!
+//! The fixtures are shaped for the conservative parallel engine
+//! (`NOW_SIM_JOBS`, see `now_sim::par`): they run on the LAN latency model
+//! (1 ms base latency = 1 ms of lookahead per window), keep one message in
+//! flight *per process* rather than one per simulation, and burn a small
+//! deterministic compute kernel on every delivery. Each lookahead window
+//! then carries `n` independent deliveries that worker shards can chew
+//! through concurrently; with `jobs = 1` the same fixtures degrade to the
+//! plain sequential hot path. Byte-for-byte results (deliveries, checksums,
+//! final clock) are identical at any job count — only wall-clock changes.
 
-use now_sim::{Ctx, Pid, Process, Sim, SimConfig};
+use now_sim::{Ctx, Pid, Process, Sim, SimConfig, SimTime};
 
-/// Ring relay: each delivery forwards the remaining hop count to the next
-/// peer. One live message circulates, so a run of `hops` hops is exactly
-/// `hops` pop→invoke→route cycles of the engine.
+/// SplitMix64 rounds per relay delivery: the stand-in for per-message
+/// application work (deserialize, apply, log). Sized so a delivery costs
+/// on the order of a microsecond — enough for a 1 ms window of them to
+/// amortise the parallel engine's per-window barrier.
+pub const RELAY_WORK: u32 = 256;
+
+/// SplitMix64 rounds per fan-out `Ping` delivery at a spoke.
+pub const FAN_WORK: u32 = 256;
+
+/// Deterministic compute kernel: `rounds` SplitMix64 scrambles folded into
+/// `x`. Pure integer arithmetic, no allocation — the cheapest honest proxy
+/// for "the process did something with the message".
+#[inline]
+pub fn spin(mut x: u64, rounds: u32) -> u64 {
+    for _ in 0..rounds {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= z ^ (z >> 31);
+    }
+    x
+}
+
+/// Quiescence bound for the fixture runners: generous against any hop
+/// count the benches use, tight enough to catch a livelocked fixture.
+const RUN_LIMIT: SimTime = SimTime(3_600_000_000); // one simulated hour
+
+/// Ring relay: each delivery folds the compute kernel into a checksum and
+/// forwards the remaining hop count to the next peer. The runner seeds one
+/// token *per relay*, so `n` messages circulate concurrently and every
+/// 1 ms latency window carries `n` deliveries.
 pub struct Relay {
     next: Pid,
-    delivered: u64,
+    /// Deliveries observed at this relay.
+    pub delivered: u64,
+    /// Kernel output folded across this relay's deliveries.
+    pub checksum: u64,
 }
 
 impl Process for Relay {
@@ -17,16 +59,27 @@ impl Process for Relay {
 
     fn on_message(&mut self, _from: Pid, hops: u64, ctx: &mut Ctx<'_, u64>) {
         self.delivered += 1;
+        self.checksum ^= spin(hops, RELAY_WORK);
         if hops > 0 {
             ctx.send(self.next, hops - 1);
         }
     }
 }
 
-/// Builds a ring of `n` relays on an ideal network.
+/// Builds a ring of `n` relays on the LAN latency model; the worker-shard
+/// count comes from `NOW_SIM_JOBS` (see [`relay_ring_jobs`] to pin it).
 pub fn relay_ring(n: usize, seed: u64) -> (Sim<Relay>, Vec<Pid>) {
+    relay_ring_with(n, SimConfig::lan(seed))
+}
+
+/// [`relay_ring`] with an explicit worker-shard count.
+pub fn relay_ring_jobs(n: usize, seed: u64, jobs: usize) -> (Sim<Relay>, Vec<Pid>) {
+    relay_ring_with(n, SimConfig::lan(seed).with_jobs(jobs))
+}
+
+fn relay_ring_with(n: usize, cfg: SimConfig) -> (Sim<Relay>, Vec<Pid>) {
     assert!(n >= 2, "a ring needs at least two relays");
-    let mut sim = Sim::new(SimConfig::ideal(seed));
+    let mut sim = Sim::new(cfg);
     let nodes = sim.add_nodes(n);
     let pids: Vec<Pid> = nodes
         .iter()
@@ -36,6 +89,7 @@ pub fn relay_ring(n: usize, seed: u64) -> (Sim<Relay>, Vec<Pid>) {
                 Relay {
                     next: Pid(0),
                     delivered: 0,
+                    checksum: 0,
                 },
             )
         })
@@ -47,18 +101,21 @@ pub fn relay_ring(n: usize, seed: u64) -> (Sim<Relay>, Vec<Pid>) {
     (sim, pids)
 }
 
-/// Sends one message around the ring for `hops` hops and returns the total
-/// number of deliveries observed (always `hops + 1`: the seed delivery plus
-/// one per forwarded hop).
+/// Seeds one `hops`-hop token at every relay, runs to quiescence, and
+/// returns the total number of deliveries (always `n · (hops + 1)`: each
+/// token's seed delivery plus one per forwarded hop).
 pub fn run_relay_ring(sim: &mut Sim<Relay>, pids: &[Pid], hops: u64) -> u64 {
-    sim.invoke(pids[0], move |r, ctx| ctx.send(r.next, hops));
-    while sim.step() {}
-    let mut total = 0;
     for &p in pids {
-        sim.invoke(p, |r, _ctx| total += std::mem::take(&mut r.delivered));
+        sim.invoke(p, move |r, ctx| ctx.send(r.next, hops));
     }
-    while sim.step() {}
-    total
+    assert!(sim.run_to_quiescence(RUN_LIMIT), "relay ring did not quiesce");
+    pids.iter().map(|&p| sim.process(p).delivered).sum()
+}
+
+/// XOR of every relay's checksum: a one-word digest of the whole run that
+/// any nondeterminism (ordering, payload, hop count) would perturb.
+pub fn relay_digest(sim: &Sim<Relay>, pids: &[Pid]) -> u64 {
+    pids.iter().map(|&p| sim.process(p).checksum).fold(0, |a, c| a ^ c)
 }
 
 /// Star fan-out message: the hub multicasts a heap payload, spokes ack it.
@@ -70,23 +127,33 @@ pub enum FanMsg {
     Ack,
 }
 
-/// Star hub/spoke: the hub multicasts `Ping` to every spoke, and once all
-/// acks are back it starts the next round. Each round is one `multicast`
-/// action fanned out to `n - 1` destinations plus `n - 1` ack sends.
+/// Star hub/spoke: the hub multicasts `Ping` to every spoke; each spoke
+/// burns the compute kernel on the payload and acks. Once a full round of
+/// acks is back the hub starts another, keeping up to [`FAN_BURST`] rounds
+/// outstanding so the event queue always holds a window's worth of
+/// independent deliveries.
 pub struct Fanout {
     spokes: Vec<Pid>,
     acks: usize,
     rounds_left: u32,
     /// Rounds fully acknowledged at the hub.
     pub rounds_done: u32,
+    /// Kernel output folded across this process's `Ping` deliveries.
+    pub checksum: u64,
 }
+
+/// How many multicast rounds the hub keeps in flight at once.
+pub const FAN_BURST: u32 = 4;
 
 impl Process for Fanout {
     type Msg = FanMsg;
 
     fn on_message(&mut self, from: Pid, msg: FanMsg, ctx: &mut Ctx<'_, FanMsg>) {
         match msg {
-            FanMsg::Ping { .. } => ctx.send(from, FanMsg::Ack),
+            FanMsg::Ping { round, body } => {
+                self.checksum ^= spin(u64::from(round) ^ body.len() as u64, FAN_WORK);
+                ctx.send(from, FanMsg::Ack);
+            }
             FanMsg::Ack => {
                 self.acks += 1;
                 if self.acks == self.spokes.len() {
@@ -112,11 +179,21 @@ fn start_round(hub: &mut Fanout, ctx: &mut Ctx<'_, FanMsg>) {
     );
 }
 
-/// Builds a hub plus `n - 1` spokes on an ideal network; returns the sim
-/// and the hub's pid.
+/// Builds a hub plus `n - 1` spokes on the LAN latency model; returns the
+/// sim and the hub's pid. Worker-shard count from `NOW_SIM_JOBS` (see
+/// [`fanout_star_jobs`] to pin it).
 pub fn fanout_star(n: usize, seed: u64) -> (Sim<Fanout>, Pid) {
+    fanout_star_with(n, SimConfig::lan(seed))
+}
+
+/// [`fanout_star`] with an explicit worker-shard count.
+pub fn fanout_star_jobs(n: usize, seed: u64, jobs: usize) -> (Sim<Fanout>, Pid) {
+    fanout_star_with(n, SimConfig::lan(seed).with_jobs(jobs))
+}
+
+fn fanout_star_with(n: usize, cfg: SimConfig) -> (Sim<Fanout>, Pid) {
     assert!(n >= 2, "a star needs a hub and at least one spoke");
-    let mut sim = Sim::new(SimConfig::ideal(seed));
+    let mut sim = Sim::new(cfg);
     let nodes = sim.add_nodes(n);
     let pids: Vec<Pid> = nodes
         .iter()
@@ -128,6 +205,7 @@ pub fn fanout_star(n: usize, seed: u64) -> (Sim<Fanout>, Pid) {
                     acks: 0,
                     rounds_left: 0,
                     rounds_done: 0,
+                    checksum: 0,
                 },
             )
         })
@@ -138,36 +216,34 @@ pub fn fanout_star(n: usize, seed: u64) -> (Sim<Fanout>, Pid) {
     (sim, hub)
 }
 
-/// Runs `rounds` fully-acknowledged multicast rounds and returns how many
+/// Runs `rounds` fully-acknowledged multicast rounds (up to [`FAN_BURST`]
+/// outstanding at a time), runs to quiescence, and returns how many
 /// completed.
 pub fn run_fanout_star(sim: &mut Sim<Fanout>, hub: Pid, rounds: u32) -> u32 {
+    let burst = FAN_BURST.min(rounds);
     sim.invoke(hub, move |h, ctx| {
-        h.rounds_left = rounds.saturating_sub(1);
-        start_round(h, ctx);
+        h.rounds_left = rounds - burst;
+        for _ in 0..burst {
+            start_round(h, ctx);
+        }
     });
-    while sim.step() {}
-    let mut done = 0;
-    sim.invoke(hub, |h, _ctx| done = h.rounds_done);
-    while sim.step() {}
-    done
+    assert!(sim.run_to_quiescence(RUN_LIMIT), "fan-out star did not quiesce");
+    sim.process(hub).rounds_done
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use now_sim::SimDuration;
 
     #[test]
     fn relay_ring_delivers_every_hop() {
         let (mut sim, pids) = relay_ring(8, 1);
-        sim.run_for(SimDuration::from_secs(1));
-        assert_eq!(run_relay_ring(&mut sim, &pids, 1_000), 1_001);
+        assert_eq!(run_relay_ring(&mut sim, &pids, 100), 8 * 101);
     }
 
     #[test]
     fn fanout_star_completes_every_round() {
         let (mut sim, hub) = fanout_star(16, 2);
-        sim.run_for(SimDuration::from_secs(1));
         assert_eq!(run_fanout_star(&mut sim, hub, 50), 50);
     }
 
@@ -176,8 +252,32 @@ mod tests {
         let run = || {
             let (mut sim, hub) = fanout_star(9, 3);
             let done = run_fanout_star(&mut sim, hub, 20);
-            (done, sim.now())
+            (done, sim.process(hub).checksum, sim.now())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_fixture_runs_are_byte_identical() {
+        // The fixtures are exactly the workload `par_eligible` wants (64
+        // processes, LAN lookahead, a full queue), so jobs = 4 takes the
+        // real sharded path — and must reproduce the sequential run's
+        // deliveries, checksums, and final clock bit for bit.
+        let relay = |jobs| {
+            let (mut sim, pids) = relay_ring_jobs(64, 5, jobs);
+            let total = run_relay_ring(&mut sim, &pids, 40);
+            (total, relay_digest(&sim, &pids), sim.now())
+        };
+        assert_eq!(relay(1), relay(4));
+
+        let fan = |jobs| {
+            let (mut sim, hub) = fanout_star_jobs(64, 6, jobs);
+            let done = run_fanout_star(&mut sim, hub, 30);
+            let sum: u64 = (0..64u32)
+                .map(|i| sim.process(Pid(i)).checksum)
+                .fold(0, |a, c| a ^ c);
+            (done, sum, sim.now())
+        };
+        assert_eq!(fan(1), fan(4));
     }
 }

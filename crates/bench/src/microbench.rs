@@ -41,6 +41,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: 50,
+            time_budget: None,
         }
     }
 
@@ -49,11 +50,16 @@ impl Criterion {
     }
 }
 
+/// Fewest samples a time-budgeted benchmark will record: below this the
+/// reported minimum is pure noise, so the budget never cuts under it.
+const MIN_BUDGETED_SAMPLES: usize = 3;
+
 /// A named group of benchmarks sharing a sample size.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a Criterion,
     name: String,
     sample_size: usize,
+    time_budget: Option<Duration>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -61,6 +67,16 @@ impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
         self.sample_size = n;
+        self
+    }
+
+    /// Caps the wall-clock spent per benchmark: sampling stops early once
+    /// `budget` has elapsed (setup included), but never before
+    /// `MIN_BUDGETED_SAMPLES` samples are in. Expensive whole-simulation
+    /// fixtures use this to record 3–5 meaningful samples instead of
+    /// grinding through a fixed count sized for nanosecond routines.
+    pub fn time_budget(&mut self, budget: Duration) -> &mut Self {
+        self.time_budget = Some(budget);
         self
     }
 
@@ -76,6 +92,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::with_capacity(self.sample_size),
             sample_size: self.sample_size,
+            time_budget: self.time_budget,
         };
         f(&mut b);
         report(&full, &b.samples);
@@ -90,14 +107,28 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    time_budget: Option<Duration>,
 }
 
 impl Bencher {
+    /// Whether another sample should be recorded: always up to the minimum,
+    /// then until the sample count or the group's time budget is exhausted.
+    fn wants_more(&self, started: Instant) -> bool {
+        if self.samples.len() >= self.sample_size {
+            return false;
+        }
+        match self.time_budget {
+            Some(b) if self.samples.len() >= MIN_BUDGETED_SAMPLES => started.elapsed() < b,
+            _ => true,
+        }
+    }
+
     /// Times `routine` repeatedly; its return value is passed through
     /// `black_box` semantics by being dropped after the timer stops.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         std::hint::black_box(routine()); // warm-up
-        for _ in 0..self.sample_size {
+        let started = Instant::now();
+        while self.wants_more(started) {
             let t0 = Instant::now();
             let out = routine();
             let dt = t0.elapsed();
@@ -113,7 +144,8 @@ impl Bencher {
         F: FnMut(I) -> R,
     {
         std::hint::black_box(routine(setup())); // warm-up
-        for _ in 0..self.sample_size {
+        let started = Instant::now();
+        while self.wants_more(started) {
             let input = setup();
             let t0 = Instant::now();
             let out = routine(input);
@@ -249,6 +281,29 @@ mod tests {
         });
         assert_eq!(setups, 5);
         assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn time_budget_stops_sampling_early_but_keeps_the_minimum() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(50).time_budget(Duration::from_millis(8));
+        let mut count = 0u32;
+        g.bench_function("budgeted", |b| {
+            b.iter(|| {
+                count += 1;
+                std::thread::sleep(Duration::from_millis(4));
+            })
+        });
+        g.finish();
+        // The record registry is shared across tests, so assert on the
+        // routine count alone: warm-up plus at least the floor, well short
+        // of the configured 50.
+        let runs = count as usize - 1; // minus warm-up
+        assert!(
+            (MIN_BUDGETED_SAMPLES..50).contains(&runs),
+            "budget should cut 50 samples down to a handful, got {runs}"
+        );
     }
 
     #[test]

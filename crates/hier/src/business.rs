@@ -149,11 +149,13 @@ impl<'x, 'a, 'b, B: LargeApp> LargeUplink<'x, 'a, 'b, B> {
 }
 
 /// Domain logic running above the hierarchical group layer.
-pub trait LargeApp: Sized + 'static {
+pub trait LargeApp: Sized + Send + 'static {
     /// Business payload carried by broadcasts and direct messages.
-    type Payload: Clone + std::fmt::Debug + 'static;
+    /// `Send + Sync` (like `Application::Payload`) so in-flight messages
+    /// can cross worker shards in a parallel run (`NOW_SIM_JOBS`).
+    type Payload: Clone + std::fmt::Debug + Send + Sync + 'static;
     /// Leaf-level replicated state installed into members joining a leaf.
-    type LeafState: Clone + std::fmt::Debug + Default + 'static;
+    type LeafState: Clone + std::fmt::Debug + Default + Send + Sync + 'static;
 
     /// A large-group broadcast was delivered (total order per leaf,
     /// globally sequenced by the root).

@@ -1,35 +1,56 @@
 //! The discrete-event simulation engine.
 //!
 //! A [`Sim`] owns a set of workstations ([`crate::ids::NodeId`]) hosting
-//! processes, a pending-event queue ordered by simulated time, a seeded RNG,
-//! and the global [`Stats`]. Everything is single-threaded and fully
-//! deterministic: two runs with the same seed and the same sequence of
-//! harness calls produce byte-identical statistics. Determinism is what lets
-//! the experiment harness make exact claims about message counts.
+//! processes, a pending-event queue ordered by simulated time, seeded RNGs,
+//! and the global [`Stats`]. Everything is fully deterministic: two runs
+//! with the same seed and the same sequence of harness calls produce
+//! byte-identical statistics — *at any worker-shard count*. Determinism is
+//! what lets the experiment harness make exact claims about message counts.
+//!
+//! Every per-process effect the outside world can see — RNG draws, event
+//! sequence numbers, timer ids, wire handles — comes from *per-process*
+//! state advanced in that process's own execution order. A process's
+//! execution order is the same whether the run is sequential or sharded
+//! across workers (see [`crate::par`]), so all derived bytes are
+//! shard-count-invariant by construction. The event queue orders entries by
+//! the total key `(time, class, seq, source)`: `class` 0 is reserved for
+//! control events (crash/restart/partition) so they apply before same-time
+//! traffic in both execution modes, `seq` is the per-source counter, and
+//! `source` breaks the remaining ties.
 //!
 //! The hot paths — `route`, `step`, counter bumps — are allocation-free:
 //! counters are interned ids, the per-callback action buffer is reused
-//! across invocations, multicast shares one payload `Rc` across all
+//! across invocations, multicast shares one payload `Arc` across all
 //! destinations, and the FIFO channel clock is a flat dense table.
 //!
 //! The send/deliver/timer surface lives in [`crate::transport`]: the sim is
 //! the default [`Transport`] implementation, and the process-hosting runtime
 //! (clock snapshot, RNG, stats, tracer, action buffer) is the shared
-//! [`Endpoint`] that real backends reuse unchanged.
+//! [`Endpoint`] that real backends reuse unchanged. Conservative parallel
+//! execution of a single run lives in [`crate::par`] and is enabled with
+//! `NOW_SIM_JOBS` (or [`Sim::set_jobs`]).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use now_trace::{EventKind as TraceKind, Tracer};
 
-use crate::det_rand::DetRng;
+use crate::det_rand::{DetRng, SplitMix64};
 
 use crate::ids::{NodeId, Pid, SiteId, TimerId};
 use crate::net::{NetConfig, Partition};
+use crate::par::ShardCtx;
 use crate::stats::{ObservationLog, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::transport::{dispatch, Action, Ctx, Endpoint, Transport};
+
+/// Bit 63 marks a wire id as a *handle* (resolved through `Sim::wire_map`)
+/// rather than a raw trace seq. Handles are used whenever `jobs > 1`: they
+/// are allocated from per-process counters, so they are identical no matter
+/// how the run is sharded, while raw trace seqs are only assigned at global
+/// merge time.
+pub(crate) const WIRE_HANDLE: u64 = 1 << 63;
 
 /// Behaviour of a simulated process.
 ///
@@ -37,9 +58,12 @@ use crate::transport::{dispatch, Action, Ctx, Endpoint, Transport};
 /// protocols embed their payloads in it. Callbacks receive a [`Ctx`] through
 /// which every externally visible effect (sends, timers, observations) must
 /// flow — this is what makes runs reproducible and measurable.
-pub trait Process: 'static {
+pub trait Process: Send + 'static {
     /// The message type exchanged between processes in this simulation.
-    type Msg: Clone + std::fmt::Debug + 'static;
+    /// `Send + Sync` lets the parallel engine carry in-flight payloads
+    /// across worker shards; deterministic protocol state needs neither
+    /// interior mutability nor shared ownership, so the bounds are free.
+    type Msg: Clone + std::fmt::Debug + Send + Sync + 'static;
 
     /// Invoked once when the process is spawned.
     fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
@@ -58,10 +82,11 @@ pub trait Process: 'static {
 }
 
 /// A delivery payload: either an owned message or a multicast envelope
-/// shared between all destinations of one `multicast` call.
-enum Payload<M> {
+/// shared between all destinations of one `multicast` call. `Arc` (not
+/// `Rc`) so a payload can ride a cross-shard mailbox.
+pub(crate) enum Payload<M> {
     One(M),
-    Shared(Rc<M>),
+    Shared(Arc<M>),
 }
 
 impl<M: Clone> Payload<M> {
@@ -71,12 +96,12 @@ impl<M: Clone> Payload<M> {
     fn into_msg(self) -> M {
         match self {
             Payload::One(m) => m,
-            Payload::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+            Payload::Shared(rc) => Arc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
         }
     }
 }
 
-enum Event {
+pub(crate) enum Event {
     /// `inc` pins the start to one incarnation: a restart→crash→restart
     /// chain must not double-start the latest life.
     Start { pid: Pid, inc: u32 },
@@ -102,15 +127,34 @@ enum Event {
     SetPartition(Partition),
 }
 
-struct Entry {
-    at: SimTime,
-    seq: u64,
-    ev: Event,
+/// The total event-ordering key: `(at, class, seq, src)`.
+///
+/// - `class` 0 = control events (crash/restart/partition), 1 = everything
+///   else; controls sort before same-time traffic in every execution mode.
+/// - `seq` is a *per-source* counter (each process slot owns one; harness
+///   originated events draw from `Sim::ext_seq`), so it is identical at any
+///   shard count.
+/// - `src` (the originating pid, `u32::MAX` for the harness) breaks the
+///   remaining ties between different sources.
+pub(crate) type EventKey = (SimTime, u8, u64, u32);
+
+pub(crate) struct Entry {
+    pub(crate) at: SimTime,
+    pub(crate) class: u8,
+    pub(crate) seq: u64,
+    pub(crate) src: u32,
+    pub(crate) ev: Event,
+}
+
+impl Entry {
+    pub(crate) fn key(&self) -> EventKey {
+        (self.at, self.class, self.seq, self.src)
+    }
 }
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for Entry {}
@@ -121,18 +165,51 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
-struct Slot<P> {
-    proc: P,
-    node: NodeId,
-    alive: bool,
+pub(crate) struct Slot<P> {
+    pub(crate) proc: P,
+    pub(crate) node: NodeId,
+    pub(crate) alive: bool,
     /// How many times this pid has been restarted (0 = first life). Bumped
     /// by [`Sim::restart`]; deliveries and timers are tagged with it so the
     /// engine can drop traffic addressed to a previous life.
-    incarnation: u32,
+    pub(crate) incarnation: u32,
+    /// This process's private deterministic RNG stream, seeded from
+    /// `(SimConfig::seed, pid)`. Latency/loss draws for *its* sends and
+    /// `Ctx::rng` draws in *its* callbacks come from here, in its own
+    /// execution order — which is shard-count-invariant.
+    pub(crate) rng: DetRng,
+    /// Per-source event sequence counter (the `seq` of queue entries this
+    /// process originates). Persists across restarts.
+    pub(crate) next_seq: u64,
+    /// Per-process timer counter; allocated ids are prefixed with the pid
+    /// (see `Ctx::timer_base`), so they are unique and shard-invariant.
+    pub(crate) next_timer: u64,
+    /// Per-process wire-handle counter (used when `jobs > 1` and tracing).
+    pub(crate) next_wire: u32,
+    /// Timers this process has armed and not yet fired or cancelled.
+    /// Id-sorted (ids are allocated monotonically per process): arming is a
+    /// tail push, lookups binary-search a few entries.
+    pub(crate) armed: Vec<(TimerId, SimTime)>,
+}
+
+/// The per-process RNG seed: one SplitMix64 "split" of the run seed per
+/// pid, the standard construction for independent child streams.
+fn slot_seed(seed: u64, pid: Pid) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    SplitMix64::new(seed.wrapping_add(GOLDEN.wrapping_mul(u64::from(pid.0) + 1))).next_u64()
+}
+
+/// `NOW_SIM_JOBS`: worker-shard count for parallel execution inside one
+/// run. Unset, 0, 1, or unparsable → 1 (sequential). Clamped to 64.
+fn jobs_from_env() -> usize {
+    std::env::var("NOW_SIM_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |j| j.clamp(1, 64))
 }
 
 /// Simulation-wide configuration.
@@ -143,6 +220,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Network latency/loss model.
     pub net: NetConfig,
+    /// Worker-shard count override; `None` defers to `NOW_SIM_JOBS`. Any
+    /// value produces byte-identical runs (see [`Sim::set_jobs`]).
+    pub jobs: Option<usize>,
 }
 
 
@@ -152,6 +232,7 @@ impl SimConfig {
         SimConfig {
             seed,
             net: NetConfig::ideal(),
+            jobs: None,
         }
     }
 
@@ -160,7 +241,15 @@ impl SimConfig {
         SimConfig {
             seed,
             net: NetConfig::default(),
+            jobs: None,
         }
+    }
+
+    /// Pins the worker-shard count, overriding `NOW_SIM_JOBS`. Useful for
+    /// harnesses that compare parallel and sequential runs in one process.
+    pub fn with_jobs(mut self, jobs: usize) -> SimConfig {
+        self.jobs = Some(jobs.clamp(1, 64));
+        self
     }
 }
 
@@ -169,47 +258,68 @@ impl SimConfig {
 /// callbacks are interpreted against its latency/loss model and pending
 /// event queue.
 pub struct Sim<P: Process> {
-    cfg: SimConfig,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Entry>>,
+    pub(crate) cfg: SimConfig,
+    /// Sequence counter for harness-originated events (spawn starts,
+    /// injects, scheduled controls). Process-originated events use the
+    /// originating slot's counter instead.
+    pub(crate) ext_seq: u64,
+    /// Wire-handle counter for harness injects (`jobs > 1` + tracing).
+    pub(crate) ext_wire: u32,
+    pub(crate) queue: BinaryHeap<Reverse<Entry>>,
     /// Pending delivery payloads, indexed by `Event::Deliver::payload`. A
     /// free-list slab: slots are recycled, so steady-state traffic allocates
     /// nothing and the queue entries stay a few words wide no matter how big
     /// `P::Msg` is.
-    payloads: Vec<Option<Payload<P::Msg>>>,
-    free_payloads: Vec<u32>,
-    procs: Vec<Option<Slot<P>>>,
-    node_sites: Vec<SiteId>,
-    partition: Partition,
+    pub(crate) payloads: Vec<Option<Payload<P::Msg>>>,
+    pub(crate) free_payloads: Vec<u32>,
+    pub(crate) procs: Vec<Option<Slot<P>>>,
+    pub(crate) node_sites: Vec<SiteId>,
+    pub(crate) partition: Partition,
     /// The process-hosting runtime shared with real backends: clock
-    /// snapshot, RNG, stats, observations, timer-id allocator, reusable
-    /// action buffer, optional tracer. The sim is its single clock writer.
-    ep: Endpoint<P::Msg>,
-    /// Timers that are armed and not yet fired or cancelled. Every entry has
-    /// exactly one matching `Event::Timer` in the queue, which removes it
-    /// when it pops — so the set is bounded by the pending-timer count and
-    /// empty at quiescence (no leak, unlike the old cancelled-id set).
-    /// An id-sorted vec: ids are allocated monotonically, so arming is a
-    /// push at the tail and lookups are a binary search over a few entries.
-    armed: Vec<(TimerId, SimTime)>,
+    /// snapshot, RNG, stats, observations, reusable action buffer, optional
+    /// tracer. The sim is its single clock writer.
+    pub(crate) ep: Endpoint<P::Msg>,
     /// Per ordered (src, dst) pair: latest scheduled arrival, used to keep
     /// channels FIFO when `NetConfig::fifo` is set. A flat dense table
     /// indexed `[src][dst]` (grown on demand; `SimTime::ZERO` = no pending
     /// constraint) — pid-pair keyed tree walks were a route() hot spot.
-    channel_clock: Vec<Vec<SimTime>>,
+    pub(crate) channel_clock: Vec<Vec<SimTime>>,
     /// Factory for the fresh process state of a restarted pid, registered
     /// via [`Sim::set_respawn`]; required by [`Sim::restart`] and
     /// [`Sim::schedule_restart`] (but not [`Sim::restart_with`]).
-    respawn: Option<Box<dyn FnMut(Pid) -> P>>,
+    /// `Arc<dyn Fn>` (not `Box<dyn FnMut>`) so worker shards can restart
+    /// processes during a parallel run.
+    pub(crate) respawn: Option<Arc<dyn Fn(Pid) -> P + Send + Sync>>,
+    /// Worker-shard count for parallel execution inside one run. 1 (the
+    /// default) = the classic sequential engine. Values > 1 opt into
+    /// per-shard stats tables and wire handles so that sequential stretches
+    /// and parallel windows produce identical bytes.
+    pub(crate) jobs: usize,
+    /// Per-shard stats tables, present when `jobs > 1`. A process *always*
+    /// bumps counters through its own shard's table (its interned
+    /// `CounterId`s are only valid there); the tables are drained into the
+    /// main `ep.stats` at synchronisation points, keyed by name.
+    pub(crate) shard_stats: Vec<Stats>,
+    /// Wire handle → global trace seq of the matching `NetSend`, used when
+    /// `jobs > 1` and tracing. Registered when the send is recorded in the
+    /// *merged* trace, consumed by the delivery/drop that terminates it.
+    pub(crate) wire_map: BTreeMap<u64, u64>,
+    /// Present only inside a worker shard of a parallel window (see
+    /// [`crate::par`]): replicas of remote state plus the shard mailboxes.
+    pub(crate) shard: Option<ShardCtx<P::Msg>>,
 }
 
 impl<P: Process> Sim<P> {
-    /// Creates an empty world.
+    /// Creates an empty world. The worker-shard count comes from
+    /// `cfg.jobs` if set, else `NOW_SIM_JOBS` (default 1); see
+    /// [`Sim::set_jobs`].
     pub fn new(cfg: SimConfig) -> Sim<P> {
         let ep = Endpoint::new(cfg.seed);
+        let jobs = cfg.jobs.unwrap_or_else(jobs_from_env);
         Sim {
             cfg,
-            seq: 0,
+            ext_seq: 0,
+            ext_wire: 0,
             queue: BinaryHeap::new(),
             procs: Vec::new(),
             node_sites: Vec::new(),
@@ -217,10 +327,46 @@ impl<P: Process> Sim<P> {
             ep,
             payloads: Vec::new(),
             free_payloads: Vec::new(),
-            armed: Vec::new(),
             channel_clock: Vec::new(),
             respawn: None,
+            jobs,
+            shard_stats: std::iter::repeat_with(Stats::default).take(jobs).collect(),
+            wire_map: BTreeMap::new(),
+            shard: None,
         }
+    }
+
+    /// Sets the worker-shard count for parallel execution inside one run
+    /// (overriding `NOW_SIM_JOBS`). Must be called before the first spawn:
+    /// processes cache interned counter ids in the stats table their shard
+    /// owns, so the shard layout cannot change once processes exist.
+    ///
+    /// Any value produces byte-identical stats, traces, and observations;
+    /// `jobs > 1` additionally enables parallel window execution when the
+    /// workload is worth it (see `par_eligible`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if processes have already been spawned, or `jobs` is 0.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        assert!(jobs > 0, "jobs must be at least 1");
+        assert!(
+            self.procs.is_empty(),
+            "set_jobs must be called before the first spawn"
+        );
+        self.jobs = jobs;
+        self.shard_stats = std::iter::repeat_with(Stats::default).take(jobs).collect();
+    }
+
+    /// The configured worker-shard count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The shard that owns `node`: whole nodes are partitioned round-robin,
+    /// so same-node (and loopback) traffic never crosses a shard boundary.
+    pub(crate) fn shard_of_node(&self, node: NodeId) -> usize {
+        node.0 as usize % self.jobs
     }
 
     /// Attaches a tracer (e.g. `Tracer::new().with_monitors(..)`), replacing
@@ -277,24 +423,43 @@ impl<P: Process> Sim<P> {
             node,
             alive: true,
             incarnation: 0,
+            rng: DetRng::seed_from_u64(slot_seed(self.cfg.seed, pid)),
+            next_seq: 0,
+            next_timer: 0,
+            next_wire: 0,
+            armed: Vec::new(),
         }));
         self.ep.stats.ensure_proc(pid);
         if self.ep.tracing() {
             self.trace(pid, None, TraceKind::Spawn { node: node.0 });
         }
-        self.push(self.ep.now, Event::Start { pid, inc: 0 });
+        let seq = self.slot_seq(pid);
+        self.push(self.ep.now, 1, seq, pid.0, Event::Start { pid, inc: 0 });
         pid
     }
 
-    fn push(&mut self, at: SimTime, ev: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Entry { at, seq, ev }));
+    pub(crate) fn push(&mut self, at: SimTime, class: u8, seq: u64, src: u32, ev: Event) {
+        self.queue.push(Reverse(Entry { at, class, seq, src, ev }));
+    }
+
+    /// Draws the next per-source sequence number of `pid`'s slot.
+    fn slot_seq(&mut self, pid: Pid) -> u64 {
+        let s = self.procs[pid.0 as usize].as_mut().expect("unknown pid");
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        seq
+    }
+
+    /// Draws the next harness-originated sequence number.
+    fn ext_seq(&mut self) -> u64 {
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        seq
     }
 
     /// Parks a delivery payload in the slab, reusing a free slot when one
     /// exists, and returns its index.
-    fn store_payload(&mut self, payload: Payload<P::Msg>) -> u32 {
+    pub(crate) fn store_payload(&mut self, payload: Payload<P::Msg>) -> u32 {
         match self.free_payloads.pop() {
             Some(i) => {
                 self.payloads[i as usize] = Some(payload);
@@ -309,7 +474,7 @@ impl<P: Process> Sim<P> {
     }
 
     /// Removes and returns the payload at `slot`, recycling the slot.
-    fn take_payload(&mut self, slot: u32) -> Payload<P::Msg> {
+    pub(crate) fn take_payload(&mut self, slot: u32) -> Payload<P::Msg> {
         let p = self.payloads[slot as usize]
             .take()
             .expect("payload slot taken twice");
@@ -420,27 +585,36 @@ impl<P: Process> Sim<P> {
         self.ep.rng_mut()
     }
 
-    /// Marks `pid` dead and forgets its FIFO channel state.
-    fn kill(&mut self, pid: Pid) -> bool {
+    /// Marks `pid` dead and forgets its FIFO channel *row* (it never sends
+    /// again). `purge_column` additionally clears every channel *into* it —
+    /// crashes do this (the column rows may live on other shards, and crash
+    /// application is a synchronisation point); halts don't (a halt happens
+    /// mid-window on the owner's shard, and stale inbound clocks are
+    /// harmless: anything addressed to a dead process is dropped at
+    /// delivery time).
+    pub(crate) fn kill(&mut self, pid: Pid, purge_column: bool) -> bool {
         let mut was_alive = false;
         if let Some(s) = self.procs[pid.0 as usize].as_mut() {
             was_alive = s.alive;
             s.alive = false;
         }
         if was_alive {
-            self.purge_channels(pid);
+            let i = pid.0 as usize;
+            if let Some(row) = self.channel_clock.get_mut(i) {
+                *row = Vec::new();
+            }
+            if purge_column {
+                self.purge_channel_column(pid);
+            }
         }
         was_alive
     }
 
-    /// Drops FIFO clock entries touching `pid` so long churn runs don't
-    /// accumulate dead channels. Safe because a dead process never sends
-    /// again and anything addressed to it is dropped at delivery time.
-    fn purge_channels(&mut self, pid: Pid) {
+    /// Clears every FIFO clock entry *into* `pid`, so long churn runs don't
+    /// accumulate dead channels. Safe because anything addressed to a dead
+    /// process is dropped at delivery time.
+    pub(crate) fn purge_channel_column(&mut self, pid: Pid) {
         let i = pid.0 as usize;
-        if let Some(row) = self.channel_clock.get_mut(i) {
-            *row = Vec::new();
-        }
         for row in &mut self.channel_clock {
             if let Some(c) = row.get_mut(i) {
                 *c = SimTime::ZERO;
@@ -460,7 +634,11 @@ impl<P: Process> Sim<P> {
     /// Zero after quiescence — the regression guard for the old leak where
     /// cancelled ids of already-fired timers accumulated forever.
     pub fn armed_timers(&self) -> usize {
-        self.armed.len()
+        self.procs
+            .iter()
+            .flatten()
+            .map(|s| s.armed.len())
+            .sum()
     }
 
     /// Crashes `pid` immediately: it stops executing and every in-flight
@@ -469,7 +647,7 @@ impl<P: Process> Sim<P> {
     /// Crashing an already-dead pid is an explicit no-op (chaos schedules
     /// can double-fire a crash): no trace event, no state change.
     pub fn crash(&mut self, pid: Pid) {
-        if self.kill(pid) && self.ep.tracing() {
+        if self.kill(pid, true) && self.ep.tracing() {
             self.trace(pid, None, TraceKind::Crash);
         }
     }
@@ -477,8 +655,9 @@ impl<P: Process> Sim<P> {
     /// Registers the factory that builds the fresh process state of a
     /// restarted pid. Required before [`Sim::restart`] or
     /// [`Sim::schedule_restart`]; [`Sim::restart_with`] works without it.
-    pub fn set_respawn(&mut self, f: impl FnMut(Pid) -> P + 'static) {
-        self.respawn = Some(Box::new(f));
+    /// `Send + Sync` so worker shards can restart during a parallel run.
+    pub fn set_respawn(&mut self, f: impl Fn(Pid) -> P + Send + Sync + 'static) {
+        self.respawn = Some(Arc::new(f));
     }
 
     /// Restarts a crashed `pid` under a fresh incarnation number, with
@@ -498,12 +677,12 @@ impl<P: Process> Sim<P> {
         if self.is_alive(pid) {
             return None;
         }
-        let mut f = self
-            .respawn
-            .take()
-            .expect("Sim::restart requires a respawn factory (Sim::set_respawn)");
+        let f = Arc::clone(
+            self.respawn
+                .as_ref()
+                .expect("Sim::restart requires a respawn factory (Sim::set_respawn)"),
+        );
         let fresh = f(pid);
-        self.respawn = Some(f);
         self.restart_with(pid, fresh)
     }
 
@@ -521,7 +700,8 @@ impl<P: Process> Sim<P> {
         if self.ep.tracing() {
             self.trace(pid, None, TraceKind::Restart { incarnation: u64::from(inc) });
         }
-        self.push(self.ep.now, Event::Start { pid, inc });
+        let seq = self.slot_seq(pid);
+        self.push(self.ep.now, 1, seq, pid.0, Event::Start { pid, inc });
         Some(inc)
     }
 
@@ -529,7 +709,8 @@ impl<P: Process> Sim<P> {
     /// factory). A no-op at fire time if the pid is alive then.
     pub fn schedule_restart(&mut self, pid: Pid, at: SimTime) {
         assert!(at >= self.ep.now, "cannot schedule a restart in the past");
-        self.push(at, Event::Restart(pid));
+        let seq = self.ext_seq();
+        self.push(at, 0, seq, Pid::EXTERNAL.0, Event::Restart(pid));
     }
 
     /// Crashes every process hosted on `node` (a workstation power failure).
@@ -544,7 +725,10 @@ impl<P: Process> Sim<P> {
             }
         }
         for pid in died {
-            self.purge_channels(pid);
+            self.channel_clock
+                .get_mut(pid.0 as usize)
+                .map(std::mem::take);
+            self.purge_channel_column(pid);
             if self.ep.tracing() {
                 self.trace(pid, None, TraceKind::Crash);
             }
@@ -554,7 +738,8 @@ impl<P: Process> Sim<P> {
     /// Schedules a crash of `pid` at absolute time `at`.
     pub fn schedule_crash(&mut self, pid: Pid, at: SimTime) {
         assert!(at >= self.ep.now, "cannot schedule a crash in the past");
-        self.push(at, Event::Crash(pid));
+        let seq = self.ext_seq();
+        self.push(at, 0, seq, Pid::EXTERNAL.0, Event::Crash(pid));
     }
 
     /// Replaces the network partition state immediately.
@@ -576,7 +761,8 @@ impl<P: Process> Sim<P> {
     /// Schedules a partition change at absolute time `at`.
     pub fn schedule_partition(&mut self, at: SimTime, p: Partition) {
         assert!(at >= self.ep.now, "cannot schedule a partition in the past");
-        self.push(at, Event::SetPartition(p));
+        let seq = self.ext_seq();
+        self.push(at, 0, seq, Pid::EXTERNAL.0, Event::SetPartition(p));
     }
 
     /// Reads the current partition state.
@@ -609,23 +795,100 @@ impl<P: Process> Sim<P> {
             return None;
         }
         // Callbacks are never nested (dispatch cannot re-enter invoke), so
-        // the endpoint-owned scratch buffer round-trips through `run` /
-        // `give_back` and steady-state invocations allocate nothing.
+        // the endpoint-owned scratch buffer round-trips through the Ctx and
+        // `give_back`, and steady-state invocations allocate nothing.
         let (r, mut actions) = {
             // Split borrows: the process slot stays in place (no move out and
-            // back) while the endpoint borrows its disjoint fields.
-            let Sim { procs, ep, .. } = self;
+            // back) while the endpoint borrows its disjoint fields. The Ctx
+            // is built here rather than via `Endpoint::run` because the
+            // engine wires in *per-slot* determinism state: the process's
+            // own RNG stream, its own timer counter under a pid-derived id
+            // prefix, and — when sharded — its shard's stats table.
+            let Sim { procs, ep, shard_stats, jobs, shard, .. } = self;
             let slot = procs[pid.0 as usize].as_mut().expect("unknown pid");
-            ep.run(pid, slot.incarnation, cause, |ctx| f(&mut slot.proc, ctx))
+            let mut actions = std::mem::take(&mut ep.scratch);
+            // Stats routing: with one shard, the main table. With several,
+            // a process always bumps through its *shard's* table (interned
+            // counter ids are only valid there); inside a worker, `ep.stats`
+            // *is* that shard table already.
+            let stats: &mut Stats = if *jobs > 1 && shard.is_none() {
+                &mut shard_stats[slot.node.0 as usize % *jobs]
+            } else {
+                &mut ep.stats
+            };
+            let r = {
+                let mut ctx = Ctx {
+                    now: ep.now,
+                    me: pid,
+                    incarnation: slot.incarnation,
+                    rng: &mut slot.rng,
+                    stats,
+                    obs: &mut ep.obs,
+                    next_timer: &mut slot.next_timer,
+                    timer_base: (u64::from(pid.0) + 1) << 32,
+                    actions: &mut actions,
+                    tracer: ep.tracer.as_mut(),
+                    cause,
+                };
+                f(&mut slot.proc, &mut ctx)
+            };
+            (r, actions)
         };
         dispatch(self, pid, &mut actions, cause);
         self.ep.give_back(actions);
+        // Sequential stretches of a sharded run flush eagerly: harnesses
+        // read counters between invocations (e.g. progress loops), so the
+        // main table must stay current. O(registered names) — per-proc and
+        // message counters never land in shard tables outside a worker.
+        if self.jobs > 1 && self.shard.is_none() {
+            let Sim { ep, shard_stats, .. } = self;
+            for t in shard_stats.iter_mut() {
+                t.drain_into(&mut ep.stats);
+            }
+        }
         Some(r)
     }
 
     fn route(&mut self, from: Pid, to: Pid, msg: P::Msg, cause: Option<u64>) {
         let bytes = P::wire_size(&msg);
         self.route_payload(from, to, Payload::One(msg), bytes, cause);
+    }
+
+    /// The hosting node of `pid`, whether it is a local slot or (inside a
+    /// worker) a remote replica. `None` for the external pseudo-pid and
+    /// unknown pids.
+    fn node_for(&self, pid: Pid) -> Option<NodeId> {
+        match self.procs.get(pid.0 as usize) {
+            Some(Some(s)) => Some(s.node),
+            Some(None) => self
+                .shard
+                .as_ref()
+                .and_then(|sc| sc.pid_nodes.get(pid.0 as usize).copied()),
+            None => None,
+        }
+    }
+
+    /// The current incarnation of `pid`, local slot or remote replica.
+    fn inc_for(&self, pid: Pid) -> u32 {
+        match self.procs.get(pid.0 as usize) {
+            Some(Some(s)) => s.incarnation,
+            Some(None) => self
+                .shard
+                .as_ref()
+                .map_or(0, |sc| sc.remote_incs[pid.0 as usize]),
+            None => 0,
+        }
+    }
+
+    /// Resolves a wire id for terminal trace emission on the *main* sim: a
+    /// handle (bit 63 set) maps — exactly once — to the global seq of its
+    /// `NetSend`; a raw id passes through. Workers keep handles verbatim;
+    /// the window merge resolves them (see [`crate::par`]).
+    pub(crate) fn resolve_wire(&mut self, wire: u64) -> u64 {
+        if wire & WIRE_HANDLE == 0 {
+            return wire;
+        }
+        self.wire_map.remove(&wire).unwrap_or(0)
     }
 
     fn route_payload(
@@ -637,42 +900,51 @@ impl<P: Process> Sim<P> {
         cause: Option<u64>,
     ) {
         self.ep.stats.record_send(from, to, bytes);
-        // The NetSend's seq *is* the wire id carried by the delivery/drop.
-        let wire = match self.ep.tracing() {
+        // With one shard the NetSend's seq *is* the wire id carried by the
+        // delivery/drop; with several the seq is only window-local, so the
+        // wire id becomes a per-sender handle (see `WIRE_HANDLE`).
+        let send_seq = match self.ep.tracing() {
             true => self.trace(from, cause, TraceKind::NetSend { to: to.0, bytes: bytes as u64 }),
             false => 0,
         };
         if (to.0 as usize) >= self.procs.len() {
             // Message to a pid that does not exist (e.g. stale address).
+            // The drop references the send directly — same trace record,
+            // no handle needed even when sharded.
             self.ep.stats.record_drop(to);
-            if wire > 0 {
-                self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
+            if send_seq > 0 {
+                self.trace(from, Some(send_seq), TraceKind::NetDrop { to: to.0, send: send_seq });
             }
             return;
         }
-        let (src_node, dst_node) = (self.slot(from).node, self.slot(to).node);
+        let src_node = self.slot(from).node;
+        let dst_node = self.node_for(to).expect("destination has no node");
         // Borrow the link model in place (no per-message clone); the drop
         // decision and latency draw complete before any &mut self call.
+        // Draws come from the *sender's* slot RNG: they happen in the
+        // sender's execution order, which is shard-count-invariant.
         let latency = if from == to || src_node == dst_node {
             Some(self.cfg.net.loopback)
         } else {
             let same_site =
                 self.node_sites[src_node.0 as usize] == self.node_sites[dst_node.0 as usize];
+            let Sim { cfg, procs, .. } = self;
             let model = if same_site {
-                &self.cfg.net.local
+                &cfg.net.local
             } else {
-                &self.cfg.net.long_distance
+                &cfg.net.long_distance
             };
-            if model.sample_drop(&mut self.ep.rng) {
+            let rng = &mut procs[from.0 as usize].as_mut().expect("unknown pid").rng;
+            if model.sample_drop(rng) {
                 None
             } else {
-                Some(model.sample_latency(bytes, &mut self.ep.rng))
+                Some(model.sample_latency(bytes, rng))
             }
         };
         let Some(latency) = latency else {
             self.ep.stats.record_drop(to);
-            if wire > 0 {
-                self.trace(from, Some(wire), TraceKind::NetDrop { to: to.0, send: wire });
+            if send_seq > 0 {
+                self.trace(from, Some(send_seq), TraceKind::NetDrop { to: to.0, send: send_seq });
             }
             return;
         };
@@ -692,9 +964,162 @@ impl<P: Process> Sim<P> {
             }
             *clock = arrival;
         }
-        let payload = self.store_payload(payload);
-        let inc = self.slot(to).incarnation;
-        self.push(arrival, Event::Deliver { to, from, payload, wire, inc });
+        // The wire id is allocated only now that the delivery is definitely
+        // going onto the queue (allocating earlier would leak map entries on
+        // the drop paths above).
+        let wire = if send_seq == 0 {
+            0
+        } else if self.jobs == 1 {
+            send_seq
+        } else {
+            let slot = self.procs[from.0 as usize].as_mut().expect("unknown pid");
+            let h = WIRE_HANDLE | ((u64::from(from.0) + 1) << 32) | u64::from(slot.next_wire);
+            slot.next_wire += 1;
+            match &mut self.shard {
+                // Worker: the local NetSend seq is registered for the merge.
+                Some(sc) => sc.wire_regs.push((h, send_seq)),
+                // Sequential stretch: the seq is already global.
+                None => {
+                    self.wire_map.insert(h, send_seq);
+                }
+            }
+            h
+        };
+        let inc = self.inc_for(to);
+        let seq = self.slot_seq(from);
+        match &self.shard {
+            Some(sc) if self.shard_of_node(dst_node) != sc.id => {
+                // Cross-shard: the delivery is mailed to the owning worker
+                // and enqueued there under the *same* key it would have had
+                // locally.
+                let dst = self.shard_of_node(dst_node);
+                self.post_mail(
+                    dst,
+                    crate::par::Mail {
+                        at: arrival,
+                        seq,
+                        src: from.0,
+                        to,
+                        payload,
+                        wire,
+                        inc,
+                    },
+                );
+            }
+            _ => {
+                let payload = self.store_payload(payload);
+                self.push(arrival, 1, seq, from.0, Event::Deliver { to, from, payload, wire, inc });
+            }
+        }
+    }
+
+    /// Executes one popped entry (the clock is already advanced). Returns
+    /// `false` for entries that were filtered out (dropped deliveries,
+    /// cancelled timers) so [`Sim::step`] can keep its historical contract
+    /// of executing "one real event" per call.
+    fn execute(&mut self, entry: Entry) -> bool {
+        match entry.ev {
+            Event::Start { pid, inc } => {
+                if self.is_alive(pid) && self.slot(pid).incarnation == inc {
+                    self.invoke(pid, |p, ctx| p.on_start(ctx));
+                }
+            }
+            Event::Deliver { to, from, payload, wire, inc } => {
+                let payload = self.take_payload(payload);
+                // Terminal trace emission resolves a wire handle to its
+                // global NetSend seq on the main sim; a worker keeps the
+                // handle verbatim for the window merge to resolve.
+                let in_shard = self.shard.is_some();
+                if !self.is_alive(to) {
+                    self.ep.stats.record_drop(to);
+                    if wire > 0 {
+                        let send = if in_shard { wire } else { self.resolve_wire(wire) };
+                        self.trace(from, Some(send), TraceKind::NetDrop { to: to.0, send });
+                    }
+                    return false;
+                }
+                if self.slot(to).incarnation != inc {
+                    // Addressed to a previous life of a restarted
+                    // process: dropping (counted, traced) is what keeps
+                    // a restart from resurrecting zombie state.
+                    self.ep.stats.record_stale_drop(to);
+                    if wire > 0 {
+                        let send = if in_shard { wire } else { self.resolve_wire(wire) };
+                        self.trace(
+                            from,
+                            Some(send),
+                            TraceKind::StaleDrop {
+                                to: to.0,
+                                incarnation: u64::from(inc),
+                                send,
+                            },
+                        );
+                    }
+                    return false;
+                }
+                // Partition is evaluated at delivery time: messages in
+                // flight when the partition forms are lost, like frames
+                // on a cut cable.
+                if let Some(sn) = self.node_for(from) {
+                    let dn = self.slot(to).node;
+                    if !self.partition.connected_pair(sn, dn) {
+                        self.ep.stats.record_drop(to);
+                        if wire > 0 {
+                            let send = if in_shard { wire } else { self.resolve_wire(wire) };
+                            self.trace(from, Some(send), TraceKind::NetDrop { to: to.0, send });
+                        }
+                        return false;
+                    }
+                }
+                self.ep.stats.record_delivery(to);
+                let cause = match self.ep.tracing() {
+                    true => {
+                        let send = if in_shard { wire } else { self.resolve_wire(wire) };
+                        let link = (send > 0).then_some(send);
+                        Some(self.trace(
+                            to,
+                            link,
+                            TraceKind::NetDeliver { from: from.0, send },
+                        ))
+                    }
+                    false => None,
+                };
+                self.invoke_caused(to, cause, |p, ctx| p.on_message(from, payload.into_msg(), ctx));
+            }
+            Event::Timer { pid, id, kind, inc } => {
+                // A fired timer leaves its owner's `armed` immediately,
+                // whether or not the owner still runs; cancelled or stale
+                // ids are simply absent. The incarnation gate keeps a
+                // previous life's timers from firing into a restarted
+                // process.
+                {
+                    let slot = self.procs[pid.0 as usize].as_mut().expect("unknown pid");
+                    match slot.armed.binary_search_by_key(&id, |&(t, _)| t) {
+                        Ok(i) => {
+                            slot.armed.remove(i);
+                        }
+                        Err(_) => return false,
+                    }
+                }
+                if self.is_alive(pid) && self.slot(pid).incarnation == inc {
+                    let cause = match self.ep.tracing() {
+                        true => Some(self.trace(
+                            pid,
+                            None,
+                            TraceKind::TimerFire { kind: u64::from(kind) },
+                        )),
+                        false => None,
+                    };
+                    self.invoke_caused(pid, cause, |p, ctx| p.on_timer(id, kind, ctx));
+                }
+            }
+            Event::Crash(pid) => self.crash(pid),
+            Event::Restart(pid) => {
+                self.restart(pid);
+            }
+            Event::SetPartition(p) => self.partition = p,
+        }
+        true
     }
 
     /// Executes the next pending event. Returns `false` when the queue is
@@ -706,111 +1131,133 @@ impl<P: Process> Sim<P> {
             };
             debug_assert!(entry.at >= self.ep.now, "event queue went backwards");
             self.ep.now = entry.at;
-            match entry.ev {
-                Event::Start { pid, inc } => {
-                    if self.is_alive(pid) && self.slot(pid).incarnation == inc {
-                        self.invoke(pid, |p, ctx| p.on_start(ctx));
-                    }
-                }
-                Event::Deliver { to, from, payload, wire, inc } => {
-                    let payload = self.take_payload(payload);
-                    let link = (wire > 0).then_some(wire);
-                    if !self.is_alive(to) {
-                        self.ep.stats.record_drop(to);
-                        if wire > 0 {
-                            self.trace(from, link, TraceKind::NetDrop { to: to.0, send: wire });
-                        }
-                        continue;
-                    }
-                    if self.slot(to).incarnation != inc {
-                        // Addressed to a previous life of a restarted
-                        // process: dropping (counted, traced) is what keeps
-                        // a restart from resurrecting zombie state.
-                        self.ep.stats.record_stale_drop(to);
-                        if wire > 0 {
-                            self.trace(
-                                from,
-                                link,
-                                TraceKind::StaleDrop {
-                                    to: to.0,
-                                    incarnation: u64::from(inc),
-                                    send: wire,
-                                },
-                            );
-                        }
-                        continue;
-                    }
-                    let src_node = if (from.0 as usize) < self.procs.len() && !from.is_external()
-                    {
-                        Some(self.slot(from).node)
-                    } else {
-                        None
-                    };
-                    // Partition is evaluated at delivery time: messages in
-                    // flight when the partition forms are lost, like frames
-                    // on a cut cable.
-                    if let Some(sn) = src_node {
-                        let dn = self.slot(to).node;
-                        if !self.partition.connected_pair(sn, dn) {
-                            self.ep.stats.record_drop(to);
-                            if wire > 0 {
-                                self.trace(from, link, TraceKind::NetDrop { to: to.0, send: wire });
-                            }
-                            continue;
-                        }
-                    }
-                    self.ep.stats.record_delivery(to);
-                    let cause = match self.ep.tracing() {
-                        true => Some(self.trace(
-                            to,
-                            link,
-                            TraceKind::NetDeliver { from: from.0, send: wire },
-                        )),
-                        false => None,
-                    };
-                    self.invoke_caused(to, cause, |p, ctx| p.on_message(from, payload.into_msg(), ctx));
-                }
-                Event::Timer { pid, id, kind, inc } => {
-                    // A fired timer leaves `armed` immediately, whether or
-                    // not its owner still runs; cancelled or stale ids are
-                    // simply absent. The incarnation gate keeps a previous
-                    // life's timers from firing into a restarted process.
-                    match self.armed.binary_search_by_key(&id, |&(t, _)| t) {
-                        Ok(i) => {
-                            self.armed.remove(i);
-                        }
-                        Err(_) => continue,
-                    }
-                    if self.is_alive(pid) && self.slot(pid).incarnation == inc {
-                        let cause = match self.ep.tracing() {
-                            true => Some(self.trace(
-                                pid,
-                                None,
-                                TraceKind::TimerFire { kind: u64::from(kind) },
-                            )),
-                            false => None,
-                        };
-                        self.invoke_caused(pid, cause, |p, ctx| p.on_timer(id, kind, ctx));
-                    }
-                }
-                Event::Crash(pid) => self.crash(pid),
-                Event::Restart(pid) => {
-                    self.restart(pid);
-                }
-                Event::SetPartition(p) => self.partition = p,
+            if self.execute(entry) {
+                return true;
             }
-            return true;
         }
+    }
+
+    /// Executes the next pending event if it lies strictly before horizon
+    /// `h`, returning its ordering key. Returns `None` (leaving the queue
+    /// untouched) otherwise — the worker-side primitive of a conservative
+    /// parallel window; the key labels the trace/observation chunk the
+    /// event produced for the global merge.
+    pub(crate) fn step_bounded(&mut self, h: SimTime) -> Option<EventKey> {
+        match self.queue.peek() {
+            Some(Reverse(e)) if e.at < h => {}
+            _ => return None,
+        }
+        let Some(Reverse(entry)) = self.queue.pop() else {
+            unreachable!("peek said non-empty");
+        };
+        debug_assert!(entry.at >= self.ep.now, "event queue went backwards");
+        self.ep.now = entry.at;
+        let key = entry.key();
+        self.execute(entry);
+        Some(key)
+    }
+
+    /// Posts a cross-shard delivery to the worker owning shard `dst`.
+    /// Channels are bounded; on a full inbox we drain our *own* mailbox
+    /// (every mailed arrival is at or beyond the current horizon, so early
+    /// ingestion is safe) and yield, which makes the send loop free of
+    /// send/send deadlocks between mutually flooding shards.
+    fn post_mail(&mut self, dst: usize, mail: crate::par::Mail<P::Msg>) {
+        let mut mail = mail;
+        loop {
+            let sc = self.shard.as_mut().expect("post_mail outside a worker");
+            match sc.mail_out[dst].try_send(mail) {
+                Ok(()) => {
+                    sc.sent_cum[dst] += 1;
+                    return;
+                }
+                Err(std::sync::mpsc::TrySendError::Full(m)) => {
+                    mail = m;
+                    self.ingest_pending_mail();
+                    std::thread::yield_now();
+                }
+                // Receiver gone: the run is unwinding; drop the mail.
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => return,
+            }
+        }
+    }
+
+    /// Ingests every mail item currently waiting in the inbox, without
+    /// blocking.
+    fn ingest_pending_mail(&mut self) {
+        loop {
+            let m = match self.shard.as_mut() {
+                Some(sc) => match sc.mail_in.try_recv() {
+                    Ok(m) => m,
+                    Err(_) => return,
+                },
+                None => return,
+            };
+            self.ingest_mail(m);
+        }
+    }
+
+    /// Blocks until `expect` mail items (cumulative over the whole run)
+    /// have been ingested. The coordinator tells each worker exactly how
+    /// much mail is bound for it before a window executes, so no arrival
+    /// can be missed.
+    pub(crate) fn drain_mail_to(&mut self, expect: u64) {
+        while self.shard.as_ref().is_some_and(|sc| sc.recv_cum < expect) {
+            let m = match self.shard.as_mut() {
+                Some(sc) => match sc.mail_in.recv() {
+                    Ok(m) => m,
+                    // Sender gone: the run is unwinding.
+                    Err(_) => return,
+                },
+                None => return,
+            };
+            self.ingest_mail(m);
+        }
+        // Opportunistically ingest anything else already queued.
+        self.ingest_pending_mail();
+    }
+
+    /// Enqueues one mailed delivery under the key it would have had locally.
+    fn ingest_mail(&mut self, m: crate::par::Mail<P::Msg>) {
+        if let Some(sc) = self.shard.as_mut() {
+            sc.recv_cum += 1;
+        }
+        let payload = self.store_payload(m.payload);
+        self.push(
+            m.at,
+            1,
+            m.seq,
+            m.src,
+            Event::Deliver { to: m.to, from: Pid(m.src), payload, wire: m.wire, inc: m.inc },
+        );
+    }
+
+    /// Whether the next run call should fan out across worker shards.
+    /// A pure performance heuristic — it cannot change any produced byte —
+    /// so it is free to demand a workload that actually amortises the
+    /// per-window barrier: enough lookahead for windows to carry real work,
+    /// enough processes to fill every shard, and a queue that is not about
+    /// to drain.
+    fn par_eligible(&self) -> bool {
+        self.jobs > 1
+            && self.shard.is_none()
+            && self.cfg.net.lookahead() >= SimDuration::from_micros(100)
+            && self.procs.len() >= 2 * self.jobs
+            && self.queue.len() >= 64
     }
 
     /// Runs until the clock reaches `t` (events at exactly `t` included) or
     /// the queue drains.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(e)) = self.queue.peek() {
-            if e.at > t {
-                break;
+        if self.par_eligible() {
+            crate::par::run_parallel(self, t, false);
+        } else {
+            while let Some(Reverse(e)) = self.queue.peek() {
+                if e.at > t {
+                    break;
+                }
+                self.step();
             }
-            self.step();
         }
         if self.ep.now < t {
             self.ep.now = t;
@@ -829,6 +1276,9 @@ impl<P: Process> Sim<P> {
     /// Note: protocols with periodic timers (heartbeats) never quiesce; use
     /// [`Sim::run_until`] for those.
     pub fn run_to_quiescence(&mut self, limit: SimTime) -> bool {
+        if self.par_eligible() {
+            return crate::par::run_parallel(self, limit, true);
+        }
         while let Some(Reverse(e)) = self.queue.peek() {
             if e.at > limit {
                 return false;
@@ -843,7 +1293,7 @@ impl<P: Process> Sim<P> {
     pub fn inject(&mut self, to: Pid, msg: P::Msg) {
         let bytes = P::wire_size(&msg);
         self.ep.stats.record_send(Pid::EXTERNAL, to, bytes);
-        let wire = match self.ep.tracing() {
+        let send_seq = match self.ep.tracing() {
             true => self.trace(
                 Pid::EXTERNAL,
                 None,
@@ -851,14 +1301,29 @@ impl<P: Process> Sim<P> {
             ),
             false => 0,
         };
+        let wire = if send_seq == 0 {
+            0
+        } else if self.jobs == 1 {
+            send_seq
+        } else {
+            // Injects happen on the main sim only, so the seq is global.
+            let h = WIRE_HANDLE | u64::from(self.ext_wire);
+            self.ext_wire += 1;
+            self.wire_map.insert(h, send_seq);
+            h
+        };
         let payload = self.store_payload(Payload::One(msg));
         let inc = self
             .procs
             .get(to.0 as usize)
             .and_then(Option::as_ref)
             .map_or(0, |s| s.incarnation);
+        let seq = self.ext_seq();
         self.push(
             self.ep.now + self.cfg.net.loopback,
+            1,
+            seq,
+            Pid::EXTERNAL.0,
             Event::Deliver {
                 to,
                 from: Pid::EXTERNAL,
@@ -889,35 +1354,43 @@ impl<P: Process> Transport<P::Msg> for Sim<P> {
                 // Size once, share the payload; each destination still
                 // counts as one message, exactly as before.
                 let bytes = P::wire_size(&msg);
-                let shared = Rc::new(msg);
+                let shared = Arc::new(msg);
                 for to in dsts {
                     self.route_payload(
                         from,
                         to,
-                        Payload::Shared(Rc::clone(&shared)),
+                        Payload::Shared(Arc::clone(&shared)),
                         bytes,
                         cause,
                     );
                 }
             }
             Action::SetTimer { id, kind, at } => {
-                // Ids are handed out monotonically, so this is a push.
-                debug_assert!(self.armed.last().is_none_or(|&(last, _)| last < id));
-                self.armed.push((id, at));
-                let inc = self
-                    .procs
-                    .get(from.0 as usize)
-                    .and_then(Option::as_ref)
-                    .map_or(0, |s| s.incarnation);
-                self.push(at, Event::Timer { pid: from, id, kind, inc });
+                let inc;
+                {
+                    let slot = self.procs[from.0 as usize].as_mut().expect("unknown pid");
+                    // Per-process ids are handed out monotonically, so this
+                    // is a push.
+                    debug_assert!(slot.armed.last().is_none_or(|&(last, _)| last < id));
+                    slot.armed.push((id, at));
+                    inc = slot.incarnation;
+                }
+                let seq = self.slot_seq(from);
+                self.push(at, 1, seq, from.0, Event::Timer { pid: from, id, kind, inc });
             }
             Action::CancelTimer(id) => {
-                if let Ok(i) = self.armed.binary_search_by_key(&id, |&(t, _)| t) {
-                    self.armed.remove(i);
+                // The id names its owner: the high bits are (pid + 1) << 32
+                // (see `Ctx::timer_base`), so the lookup goes straight to
+                // the owning slot's armed list.
+                let owner = ((id.0 >> 32) as u32).wrapping_sub(1);
+                if let Some(Some(slot)) = self.procs.get_mut(owner as usize) {
+                    if let Ok(i) = slot.armed.binary_search_by_key(&id, |&(t, _)| t) {
+                        slot.armed.remove(i);
+                    }
                 }
             }
             Action::Halt => {
-                if self.kill(from) && self.ep.tracing() {
+                if self.kill(from, false) && self.ep.tracing() {
                     self.trace(from, cause, TraceKind::Halt);
                 }
             }

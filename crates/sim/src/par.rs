@@ -1,0 +1,777 @@
+//! Conservative parallel execution of a single simulation run.
+//!
+//! One `Sim::run_*` call is split into *cycles*. At the start of a cycle the
+//! main sim is **exploded**: process slots, their queued events, and their
+//! FIFO channel rows move to `jobs` worker shards (whole nodes, round-robin
+//! by node id, so loopback and same-node traffic never cross a shard). The
+//! workers then execute lock-step *windows*: the coordinator picks the
+//! earliest pending event time `t` across all shards and tells every worker
+//! to run events strictly below the horizon `h = t + lookahead`, where
+//! `lookahead` is the minimum internode latency ([`NetConfig::lookahead`]).
+//! No message sent at or after `t` can arrive before `h`, so the windows are
+//! safe — the classic conservative (Chandy–Misra style) argument, with the
+//! barrier playing the role of null messages.
+//!
+//! Cross-shard sends travel as [`Mail`] over bounded mpsc channels. The
+//! coordinator tracks a cumulative sent-matrix / received-vector from the
+//! window reports and tells each worker, before every window, exactly how
+//! much mail is bound for it (`expect`); the worker blocks until that much
+//! has arrived, so no delivery can be missed and a stalled shard costs at
+//! most one empty catch-up window.
+//!
+//! Control events (crash / restart / partition — queue class 0) are global:
+//! a cycle runs strictly below the earliest control's time, the shards fold
+//! back into the main sim, the control is applied sequentially, and the next
+//! cycle re-explodes. Controls are rare (they come from the failure
+//! injector), so the O(procs + queue) explode/merge cost is paid rarely.
+//!
+//! # Determinism
+//!
+//! Parallel runs are *byte-identical* to sequential runs. Every per-process
+//! effect — RNG draws, event seqs, timer ids, wire handles — comes from
+//! per-slot state advanced in that slot's own execution order, which is the
+//! same under any shard count. The two globally ordered artefacts are
+//! rebuilt at the window barrier:
+//!
+//! * **Trace / observation order**: each worker records into a private
+//!   tracer and observation log, and tags every executed event that emitted
+//!   something with its queue key `(at, class, seq, src)` (a [`Chunk`]).
+//!   The coordinator k-way merges the chunk lists — preserving each
+//!   worker's own order and choosing the smallest head key — and re-records
+//!   the events into the main tracer, which assigns the global seqs. The
+//!   merge reproduces the sequential order exactly: same-shard order is
+//!   kept verbatim (this matters — a zero-delay timer chain executes in
+//!   generation order, not key order), and cross-shard same-time events are
+//!   causally independent (anything crossing a shard is at least
+//!   `lookahead` away), so the sequential engine would have ordered them by
+//!   key, which is what the head comparison does.
+//! * **Wire ids**: with `jobs > 1`, a traced send is labelled with a
+//!   per-process *handle* (bit 63 set) instead of its trace seq. When the
+//!   merge re-records the `NetSend` it learns the global seq and registers
+//!   it in `Sim::wire_map`; the matching delivery/drop — merged strictly
+//!   later — resolves and retires the handle.
+//!
+//! Stats are simpler: each worker owns its shard's table (interned counter
+//! ids stay valid), and the tables are drained into the main one, keyed by
+//! name, when the shards fold back. Counter addition is commutative and
+//! series reducers are order-insensitive, so no event-order bookkeeping is
+//! needed.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+
+use now_trace::{EventKind, TraceEvent, Tracer};
+
+use crate::det_rand::DetRng;
+use crate::engine::{Event, EventKey, Payload, Process, Sim, WIRE_HANDLE};
+use crate::ids::NodeId;
+use crate::stats::{Observation, ObservationLog};
+use crate::time::SimTime;
+use crate::transport::Endpoint;
+
+/// Bound on each shard's mail inbox. Senders never block on a full inbox
+/// (they drain their own and yield — see `Sim::post_mail`), so the bound
+/// only limits memory, not progress.
+const MAIL_CAP: usize = 4096;
+
+/// A cross-shard delivery in flight: everything `Sim::ingest_mail` needs to
+/// enqueue the `Deliver` under exactly the key it would have had in a
+/// sequential run.
+pub(crate) struct Mail<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) src: u32,
+    pub(crate) to: crate::ids::Pid,
+    pub(crate) payload: Payload<M>,
+    pub(crate) wire: u64,
+    pub(crate) inc: u32,
+}
+
+/// Worker-side shard state, carried inside the worker's `Sim` (its presence
+/// is what marks a sim as a shard).
+pub(crate) struct ShardCtx<M> {
+    /// This shard's index in `0..jobs`.
+    pub(crate) id: usize,
+    /// Hosting node of every pid (local or remote) — routing needs the
+    /// destination's node even when its slot lives on another shard.
+    pub(crate) pid_nodes: Vec<NodeId>,
+    /// Incarnation of every pid at cycle start. Constant within a cycle:
+    /// incarnations only change through control events, which run between
+    /// cycles.
+    pub(crate) remote_incs: Vec<u32>,
+    /// Mail senders to every shard (own entry unused).
+    pub(crate) mail_out: Vec<SyncSender<Mail<M>>>,
+    /// This shard's mail inbox.
+    pub(crate) mail_in: Receiver<Mail<M>>,
+    /// Cumulative mail posted to each shard over the whole cycle.
+    pub(crate) sent_cum: Vec<u64>,
+    /// Cumulative mail ingested over the whole cycle.
+    pub(crate) recv_cum: u64,
+    /// Wire handles allocated this window, with the *local* trace seq of
+    /// their `NetSend`; the merge registers handle → global seq.
+    pub(crate) wire_regs: Vec<(u64, u64)>,
+}
+
+/// Coordinator → worker command.
+enum Cmd {
+    /// Ingest mail until `expect` items (cumulative) have arrived, then
+    /// execute queued events strictly below `h` and report.
+    Execute { h: SimTime, expect: u64 },
+    /// Ingest mail until `expect` items have arrived, then return the shard
+    /// sim to the coordinator.
+    Finish { expect: u64 },
+}
+
+/// One executed event that emitted trace events and/or observations: the
+/// unit of the deterministic merge. `tr` is a `(from, to]` range of local
+/// trace seqs, `obs` a `[from, to)` range of indices into the window's
+/// drained observation list.
+struct Chunk {
+    key: EventKey,
+    tr: (u64, u64),
+    obs: (usize, usize),
+}
+
+/// Worker → coordinator window report.
+struct WindowReport {
+    /// Time of this shard's next pending event (`SimTime(u64::MAX)` if its
+    /// queue is empty). May understate the truth when mail is still in
+    /// flight; the coordinator accounts for that separately.
+    next_at: SimTime,
+    sent_cum: Vec<u64>,
+    recv_cum: u64,
+    tr_events: Vec<TraceEvent>,
+    obs: Vec<Observation>,
+    chunks: Vec<Chunk>,
+    wire_regs: Vec<(u64, u64)>,
+}
+
+/// Runs `sim` in parallel windows until no event at or before `limit`
+/// remains. Semantics match the sequential loops exactly: events at `limit`
+/// are executed, later ones stay queued. Returns whether the queue drained
+/// (`run_to_quiescence`'s contract; `run_until` ignores it).
+pub(crate) fn run_parallel<P: Process>(sim: &mut Sim<P>, limit: SimTime, quiesce: bool) -> bool {
+    debug_assert!(sim.jobs > 1 && sim.shard.is_none());
+    loop {
+        // Earliest queued control event: the cycle must stop just short of
+        // it so it applies against the folded-back global state.
+        let tc = sim
+            .queue
+            .iter()
+            .filter(|r| r.0.class == 0)
+            .map(|r| r.0.at)
+            .min()
+            .unwrap_or(SimTime(u64::MAX));
+        let cycle_limit = SimTime(tc.0.min(limit.0.saturating_add(1)));
+        if sim.queue.peek().is_some_and(|r| r.0.at < cycle_limit) {
+            parallel_cycle(sim, cycle_limit);
+        }
+        if tc > limit {
+            break;
+        }
+        // Apply the control sequentially (it is the minimal queue entry:
+        // everything earlier was just executed, and class 0 sorts first
+        // among same-time entries), then start the next cycle.
+        sim.step();
+    }
+    !quiesce || sim.queue.is_empty()
+}
+
+/// One explode → windowed-execution → merge-back cycle, executing every
+/// queued event strictly below `cycle_limit`.
+fn parallel_cycle<P: Process>(sim: &mut Sim<P>, cycle_limit: SimTime) {
+    let jobs = sim.jobs;
+    let lookahead = sim.cfg.net.lookahead();
+    let workers = explode(sim);
+    let mut nexts: Vec<SimTime> = workers
+        .iter()
+        .map(|w| w.queue.peek().map_or(SimTime(u64::MAX), |r| r.0.at))
+        .collect();
+    // Per-worker local→global trace-seq maps, alive for the whole cycle:
+    // causes can reference events merged in an earlier window (e.g. a timer
+    // armed long before it fires).
+    let mut maps: Vec<BTreeMap<u64, u64>> = (0..jobs).map(|_| BTreeMap::new()).collect();
+
+    let finished: Vec<Sim<P>> = std::thread::scope(|s| {
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(jobs);
+        let mut rep_rxs: Vec<Receiver<WindowReport>> = Vec::with_capacity(jobs);
+        let mut handles = Vec::with_capacity(jobs);
+        for w in workers {
+            let (ctx, crx) = channel::<Cmd>();
+            let (rtx, rrx) = channel::<WindowReport>();
+            cmd_txs.push(ctx);
+            rep_rxs.push(rrx);
+            handles.push(s.spawn(move || worker_loop(w, crx, rtx)));
+        }
+
+        // sent[j][k]: cumulative mail worker j reported posting to k.
+        let mut sent = vec![vec![0u64; jobs]; jobs];
+        let mut recv = vec![0u64; jobs];
+        let mut h_last = sim.ep.now;
+        let mut worker_died = false;
+        loop {
+            let mut t = nexts.iter().copied().min().unwrap_or(SimTime(u64::MAX));
+            let posted: u64 = sent.iter().map(|row| row.iter().sum::<u64>()).sum();
+            let ingested: u64 = recv.iter().sum();
+            if posted > ingested {
+                // Mail is in flight; its deliveries land at or after the
+                // last horizon, so a (possibly empty) window there forces
+                // the drain and makes every `next_at` accurate again.
+                t = t.min(h_last);
+            }
+            if t >= cycle_limit {
+                break;
+            }
+            let h = (t + lookahead).min(cycle_limit);
+            for (k, tx) in cmd_txs.iter().enumerate() {
+                let expect: u64 = (0..jobs).map(|j| sent[j][k]).sum();
+                if tx.send(Cmd::Execute { h, expect }).is_err() {
+                    worker_died = true;
+                }
+            }
+            let mut reports: Vec<Option<WindowReport>> = (0..jobs).map(|_| None).collect();
+            for (j, rx) in rep_rxs.iter().enumerate() {
+                match rx.recv() {
+                    Ok(r) => reports[j] = Some(r),
+                    Err(_) => {
+                        worker_died = true;
+                        break;
+                    }
+                }
+            }
+            if worker_died {
+                break;
+            }
+            let reports: Vec<WindowReport> =
+                reports.into_iter().map(|r| r.expect("report collected")).collect();
+            for (j, r) in reports.iter().enumerate() {
+                nexts[j] = r.next_at;
+                sent[j].copy_from_slice(&r.sent_cum);
+                recv[j] = r.recv_cum;
+            }
+            merge_window(sim, &reports, &mut maps);
+            h_last = h;
+        }
+
+        // Wind down: every worker drains the mail still addressed to it
+        // (those deliveries are at or beyond `cycle_limit`), then hands its
+        // shard back. `sent` is final — mail is only posted while executing
+        // a window, and every window has been reported.
+        for (k, tx) in cmd_txs.iter().enumerate() {
+            let expect: u64 = (0..jobs).map(|j| sent[j][k]).sum();
+            let _ = tx.send(Cmd::Finish { expect });
+        }
+        drop(cmd_txs);
+        let mut out = Vec::with_capacity(jobs);
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(w) => out.push(w),
+                Err(e) => panic = Some(e),
+            }
+        }
+        if let Some(e) = panic {
+            std::panic::resume_unwind(e);
+        }
+        assert!(
+            !worker_died,
+            "a worker shard exited without reporting its window"
+        );
+        out
+    });
+    merge_back(sim, finished);
+}
+
+/// Splits the main sim into `jobs` worker shards: whole nodes round-robin
+/// by node id. Moves out process slots, their queued class-1 events (with
+/// payloads re-slabbed), their FIFO channel rows, and the per-shard stats
+/// tables; control events stay behind in the main queue.
+fn explode<P: Process>(sim: &mut Sim<P>) -> Vec<Sim<P>> {
+    let jobs = sim.jobs;
+    let n = sim.procs.len();
+    let tracing = sim.ep.tracing();
+    let now = sim.ep.now;
+
+    let pid_nodes: Vec<NodeId> = sim
+        .procs
+        .iter()
+        .map(|s| s.as_ref().map_or(NodeId(u32::MAX), |s| s.node))
+        .collect();
+    let remote_incs: Vec<u32> = sim
+        .procs
+        .iter()
+        .map(|s| s.as_ref().map_or(0, |s| s.incarnation))
+        .collect();
+
+    let (mail_txs, mail_rxs): (Vec<_>, Vec<_>) =
+        (0..jobs).map(|_| sync_channel::<Mail<P::Msg>>(MAIL_CAP)).unzip();
+    let mut mail_rxs: Vec<Option<Receiver<Mail<P::Msg>>>> =
+        mail_rxs.into_iter().map(Some).collect();
+
+    let clock_rows = n.max(sim.channel_clock.len());
+    let mut workers: Vec<Sim<P>> = (0..jobs)
+        .map(|j| Sim {
+            cfg: sim.cfg.clone(),
+            ext_seq: 0,
+            ext_wire: 0,
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free_payloads: Vec::new(),
+            procs: (0..n).map(|_| None).collect(),
+            node_sites: sim.node_sites.clone(),
+            partition: sim.partition.clone(),
+            ep: Endpoint {
+                now,
+                // Never drawn from: every draw in a worker comes from a
+                // per-slot stream.
+                rng: DetRng::seed_from_u64(0),
+                stats: std::mem::take(&mut sim.shard_stats[j]),
+                obs: ObservationLog::default(),
+                next_timer: 0,
+                scratch: Vec::new(),
+                tracer: tracing.then(|| Tracer::new().retain_all()),
+            },
+            channel_clock: (0..clock_rows).map(|_| Vec::new()).collect(),
+            respawn: sim.respawn.clone(),
+            jobs,
+            shard_stats: Vec::new(),
+            wire_map: BTreeMap::new(),
+            shard: Some(ShardCtx {
+                id: j,
+                pid_nodes: pid_nodes.clone(),
+                remote_incs: remote_incs.clone(),
+                mail_out: mail_txs.clone(),
+                mail_in: mail_rxs[j].take().expect("inbox taken once"),
+                sent_cum: vec![0; jobs],
+                recv_cum: 0,
+                wire_regs: Vec::new(),
+            }),
+        })
+        .collect();
+    drop(mail_txs);
+
+    // Workers book sends through their own table (`ep.stats` *is* the
+    // shard table inside a worker), so the fanout census must be armed
+    // there too — otherwise every send made inside a parallel window
+    // vanishes from `max_distinct_destinations` and the E8/E9 fanout
+    // columns change with the job count.
+    if sim.ep.stats.fanout_tracking_enabled() {
+        for w in &mut workers {
+            w.ep.stats.enable_fanout_tracking();
+        }
+    }
+
+    for i in 0..n {
+        if let Some(slot) = sim.procs[i].take() {
+            let j = slot.node.0 as usize % jobs;
+            workers[j].procs[i] = Some(slot);
+        }
+    }
+    for (i, row_slot) in sim.channel_clock.iter_mut().enumerate() {
+        let row = std::mem::take(row_slot);
+        if row.is_empty() {
+            continue;
+        }
+        // Rows are keyed by *sender*, which executes on its own shard.
+        let node = pid_nodes[i];
+        let j = if node.0 == u32::MAX { 0 } else { node.0 as usize % jobs };
+        workers[j].channel_clock[i] = row;
+    }
+
+    let entries = std::mem::take(&mut sim.queue);
+    for Reverse(mut e) in entries.into_vec() {
+        if e.class == 0 {
+            sim.queue.push(Reverse(e));
+            continue;
+        }
+        let owner = match &e.ev {
+            Event::Start { pid, .. } => *pid,
+            Event::Deliver { to, .. } => *to,
+            Event::Timer { pid, .. } => *pid,
+            // Controls are class 0 and were kept above.
+            _ => {
+                sim.queue.push(Reverse(e));
+                continue;
+            }
+        };
+        let node = pid_nodes[owner.0 as usize];
+        let j = if node.0 == u32::MAX { 0 } else { node.0 as usize % jobs };
+        if let Event::Deliver { payload, .. } = &mut e.ev {
+            let p = sim.take_payload(*payload);
+            *payload = workers[j].store_payload(p);
+        }
+        workers[j].queue.push(Reverse(e));
+    }
+    workers
+}
+
+/// The worker thread: executes windows on its shard sim until told to
+/// finish (or the coordinator goes away), then returns the sim.
+fn worker_loop<P: Process>(
+    mut sim: Sim<P>,
+    cmds: Receiver<Cmd>,
+    reports: Sender<WindowReport>,
+) -> Sim<P> {
+    // recv() Err means the coordinator is gone (panic unwinding):
+    // stop where we are.
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            Cmd::Execute { h, expect } => {
+                sim.drain_mail_to(expect);
+                let mut chunks = Vec::new();
+                loop {
+                    let tr0 = sim.ep.tracer.as_ref().map_or(0, Tracer::last_seq);
+                    let ob0 = sim.ep.obs.all().len();
+                    let Some(key) = sim.step_bounded(h) else { break };
+                    let tr1 = sim.ep.tracer.as_ref().map_or(0, Tracer::last_seq);
+                    let ob1 = sim.ep.obs.all().len();
+                    if tr1 > tr0 || ob1 > ob0 {
+                        chunks.push(Chunk { key, tr: (tr0, tr1), obs: (ob0, ob1) });
+                    }
+                }
+                let next_at = sim.queue.peek().map_or(SimTime(u64::MAX), |r| r.0.at);
+                let tr_events = sim
+                    .ep
+                    .tracer
+                    .as_mut()
+                    .map_or_else(Vec::new, Tracer::drain_events);
+                let obs = sim.ep.obs.drain_entries();
+                let (sent_cum, recv_cum, wire_regs) = {
+                    let sc = sim.shard.as_mut().expect("worker sims are shards");
+                    (
+                        sc.sent_cum.clone(),
+                        sc.recv_cum,
+                        std::mem::take(&mut sc.wire_regs),
+                    )
+                };
+                let report = WindowReport {
+                    next_at,
+                    sent_cum,
+                    recv_cum,
+                    tr_events,
+                    obs,
+                    chunks,
+                    wire_regs,
+                };
+                if reports.send(report).is_err() {
+                    break;
+                }
+            }
+            Cmd::Finish { expect } => {
+                sim.drain_mail_to(expect);
+                break;
+            }
+        }
+    }
+    sim
+}
+
+/// Re-records one window's trace events and observations into the main
+/// tracer/log in the deterministic global order: a k-way merge over the
+/// workers' chunk lists that preserves each worker's own order and picks
+/// the smallest head key — exactly the order the sequential engine would
+/// have produced (see the module docs for why).
+fn merge_window<P: Process>(
+    sim: &mut Sim<P>,
+    reports: &[WindowReport],
+    maps: &mut [BTreeMap<u64, u64>],
+) {
+    let jobs = reports.len();
+    // handle → local NetSend seq, per worker, this window.
+    let regs: Vec<BTreeMap<u64, u64>> = reports
+        .iter()
+        .map(|r| r.wire_regs.iter().map(|&(h, s)| (s, h)).collect())
+        .collect();
+    // Local seqs are contiguous; index = seq - base.
+    let bases: Vec<u64> = reports
+        .iter()
+        .map(|r| r.tr_events.first().map_or(0, |e| e.seq))
+        .collect();
+    let mut idx = vec![0usize; jobs];
+    loop {
+        let mut best: Option<(EventKey, usize)> = None;
+        for (j, r) in reports.iter().enumerate() {
+            if let Some(c) = r.chunks.get(idx[j]) {
+                if best.is_none_or(|(k, _)| c.key < k) {
+                    best = Some((c.key, j));
+                }
+            }
+        }
+        let Some((_, j)) = best else { break };
+        let c = &reports[j].chunks[idx[j]];
+        idx[j] += 1;
+        for s in (c.tr.0 + 1)..=c.tr.1 {
+            let e = &reports[j].tr_events[(s - bases[j]) as usize];
+            debug_assert_eq!(e.seq, s, "worker trace seqs must be contiguous");
+            let cause = e.cause.map(|x| {
+                if x & WIRE_HANDLE != 0 {
+                    // A wire handle: its NetSend merged strictly earlier.
+                    *sim.wire_map.get(&x).expect("cause wire handle unregistered")
+                } else {
+                    *maps[j].get(&x).expect("cause event not yet merged")
+                }
+            });
+            let kind = rewrite_terminal(e.kind.clone(), &mut sim.wire_map);
+            let g = sim
+                .ep
+                .tracer
+                .as_mut()
+                .expect("merging trace chunks with the tracer off")
+                .record(e.at, e.pid, cause, kind);
+            maps[j].insert(e.seq, g);
+            if let Some(&h) = regs[j].get(&e.seq) {
+                sim.wire_map.insert(h, g);
+            }
+        }
+        for o in &reports[j].obs[c.obs.0..c.obs.1] {
+            sim.ep.obs.append(o.clone());
+        }
+    }
+}
+
+/// Resolves the wire handle in a terminal event (delivery/drop), retiring
+/// it: in a sharded run every traced wire id is a handle.
+fn rewrite_terminal(kind: EventKind, wire_map: &mut BTreeMap<u64, u64>) -> EventKind {
+    let resolve = |wire_map: &mut BTreeMap<u64, u64>, send: u64| -> u64 {
+        if send == 0 {
+            return 0;
+        }
+        assert!(send & WIRE_HANDLE != 0, "raw wire id in a sharded run");
+        wire_map
+            .remove(&send)
+            .expect("terminal wire handle unregistered")
+    };
+    match kind {
+        EventKind::NetDeliver { from, send } => {
+            EventKind::NetDeliver { from, send: resolve(wire_map, send) }
+        }
+        EventKind::NetDrop { to, send } => {
+            EventKind::NetDrop { to, send: resolve(wire_map, send) }
+        }
+        EventKind::StaleDrop { to, incarnation, send } => {
+            EventKind::StaleDrop { to, incarnation, send: resolve(wire_map, send) }
+        }
+        other => other,
+    }
+}
+
+/// Folds the worker shards back into the main sim: slots, remaining queued
+/// events (payloads re-slabbed), FIFO channel rows, shard stats tables
+/// (drained into the main table, keyed by name), and the clock.
+fn merge_back<P: Process>(sim: &mut Sim<P>, finished: Vec<Sim<P>>) {
+    for (j, mut w) in finished.into_iter().enumerate() {
+        for i in 0..w.procs.len() {
+            if w.procs[i].is_some() {
+                sim.procs[i] = w.procs[i].take();
+            }
+        }
+        while let Some(Reverse(mut e)) = w.queue.pop() {
+            if let Event::Deliver { payload, .. } = &mut e.ev {
+                let p = w.take_payload(*payload);
+                *payload = sim.store_payload(p);
+            }
+            sim.queue.push(Reverse(e));
+        }
+        if sim.channel_clock.len() < w.channel_clock.len() {
+            sim.channel_clock.resize(w.channel_clock.len(), Vec::new());
+        }
+        for i in 0..w.channel_clock.len() {
+            if !w.channel_clock[i].is_empty() {
+                sim.channel_clock[i] = std::mem::take(&mut w.channel_clock[i]);
+            }
+        }
+        sim.shard_stats[j] = std::mem::take(&mut w.ep.stats);
+        if w.ep.now > sim.ep.now {
+            sim.ep.now = w.ep.now;
+        }
+    }
+    let Sim { ep, shard_stats, .. } = sim;
+    for t in shard_stats.iter_mut() {
+        t.drain_into(&mut ep.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use now_trace::Tracer;
+
+    use crate::engine::{Process, Sim, SimConfig};
+    use crate::ids::{Pid, TimerId};
+    use crate::net::Partition;
+    use crate::time::{SimDuration, SimTime};
+    use crate::transport::Ctx;
+    use crate::Rng;
+
+    /// A deliberately messy workload: token forwarding with per-hop RNG
+    /// draws, random timers, zero-delay timer chains (same-time events
+    /// generated mid-window — the k-way merge's hard case), multicast,
+    /// observations, counters, and series samples.
+    struct Token {
+        peers: u32,
+    }
+
+    impl Process for Token {
+        type Msg = (u32, u64);
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            ctx.observe("started", f64::from(ctx.me().0));
+            let delay = ctx.rng().gen_range(100..5_000);
+            ctx.set_timer(SimDuration::from_micros(delay), 1);
+        }
+
+        fn on_message(&mut self, _from: Pid, (hops, acc): Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+            ctx.bump("tokens");
+            ctx.sample("hop_acc", acc as f64);
+            if hops == 0 {
+                ctx.observe("token_died", acc as f64);
+                return;
+            }
+            let next = Pid(ctx.rng().gen_range(0..u64::from(self.peers)) as u32);
+            let acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(u64::from(hops));
+            ctx.send(next, (hops - 1, acc));
+            if hops % 7 == 0 {
+                // Occasionally fan out to two more peers through one
+                // shared multicast payload.
+                let a = Pid(ctx.rng().gen_range(0..u64::from(self.peers)) as u32);
+                let b = Pid(ctx.rng().gen_range(0..u64::from(self.peers)) as u32);
+                ctx.multicast([a, b], (1, acc));
+            }
+            if hops % 5 == 0 {
+                // Zero-delay timer: fires at the *same* simulated time,
+                // after this event, with a key that may sort before the
+                // events this handler just pushed.
+                ctx.set_timer(SimDuration::ZERO, 2);
+            }
+        }
+
+        fn on_timer(&mut self, _id: TimerId, kind: u32, ctx: &mut Ctx<'_, Self::Msg>) {
+            match kind {
+                1 => {
+                    let next = Pid(ctx.rng().gen_range(0..u64::from(self.peers)) as u32);
+                    ctx.send(next, (20, u64::from(ctx.me().0)));
+                }
+                _ => {
+                    ctx.bump("zero_delay_fired");
+                    ctx.observe("chain", f64::from(ctx.incarnation()));
+                }
+            }
+        }
+    }
+
+    /// Runs the full scenario — two run calls, four scheduled controls, a
+    /// crash→quick-restart overlap that forces stale drops — and returns
+    /// every externally visible byte.
+    fn run(jobs: usize, tracing: bool) -> (String, Vec<now_trace::TraceEvent>, bool) {
+        let n_procs: u32 = 16;
+        let mut sim: Sim<Token> = Sim::new(SimConfig::lan(42));
+        sim.set_jobs(jobs);
+        if tracing {
+            sim.set_tracer(Tracer::new().retain_all());
+        }
+        let nodes = sim.add_nodes(8);
+        sim.stats_mut().enable_fanout_tracking();
+        for i in 0..n_procs {
+            sim.spawn(nodes[i as usize % nodes.len()], Token { peers: n_procs });
+        }
+        sim.set_respawn(move |_| Token { peers: n_procs });
+        for i in 0..80u32 {
+            sim.inject(Pid(i % n_procs), (40, u64::from(i)));
+        }
+        sim.schedule_crash(Pid(3), SimTime(12_000));
+        // Restart before the crashed pid's in-flight traffic lands (LAN
+        // latency is ~1ms): those deliveries must be dropped as stale,
+        // identically in both modes.
+        sim.schedule_restart(Pid(3), SimTime(12_050));
+        sim.schedule_partition(
+            SimTime(20_000),
+            Partition::split([nodes[0], nodes[1]]),
+        );
+        sim.schedule_partition(SimTime(26_000), Partition::connected());
+        sim.run_until(SimTime(18_000));
+        let quiesced = sim.run_to_quiescence(SimTime(5_000_000));
+
+        let mut digest = String::new();
+        digest.push_str(&format!("now={:?}\n", sim.now()));
+        digest.push_str(&format!("counters={:?}\n", sim.stats().counters()));
+        for i in 0..n_procs {
+            digest.push_str(&format!("proc{}={:?}\n", i, sim.stats().proc(Pid(i))));
+        }
+        // The fanout census is booked in whichever table executed the
+        // send (worker shards included) — a regression here means windowed
+        // sends fell out of the distinct-destination sets.
+        digest.push_str(&format!(
+            "fanout: max={} per_proc={:?}\n",
+            sim.stats().max_distinct_destinations(),
+            (0..n_procs)
+                .map(|i| sim.stats().distinct_destinations(Pid(i)))
+                .collect::<Vec<_>>()
+        ));
+        let s = sim.stats().series("hop_acc");
+        digest.push_str(&format!(
+            "hop_acc: len={} mean={} p50={} min={} max={}\n",
+            s.len(),
+            s.mean(),
+            s.p50(),
+            s.min(),
+            s.max()
+        ));
+        digest.push_str(&format!("obs={:?}\n", sim.observations().all()));
+        digest.push_str(&format!(
+            "armed={} chans={} pending={} alive={:?}\n",
+            sim.armed_timers(),
+            sim.live_channel_entries(),
+            sim.pending_events(),
+            sim.alive_pids()
+        ));
+        let events = sim
+            .take_tracer()
+            .map(|mut t| t.drain_events())
+            .unwrap_or_default();
+        (digest, events, quiesced)
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let (base, base_ev, base_q) = run(1, true);
+        assert!(
+            base_ev.iter().any(|e| e.kind.name() == "STALE_DROP"),
+            "scenario must exercise stale drops"
+        );
+        assert!(
+            base_ev.iter().any(|e| e.kind.name() == "NET_DROP"),
+            "scenario must exercise partition/dead drops"
+        );
+        for jobs in [2, 4, 5] {
+            let (d, ev, q) = run(jobs, true);
+            assert_eq!(base_q, q, "quiescence verdict changed at jobs={jobs}");
+            assert_eq!(base, d, "stats/obs digest changed at jobs={jobs}");
+            assert_eq!(base_ev.len(), ev.len(), "trace length changed at jobs={jobs}");
+            for (a, b) in base_ev.iter().zip(&ev) {
+                assert_eq!(a, b, "trace diverged at jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_off_does_not_change_the_run() {
+        let (base, _, _) = run(1, false);
+        let (par, ev, _) = run(4, false);
+        assert_eq!(base, par);
+        assert!(ev.is_empty());
+        // And a traced run produces the same non-trace bytes.
+        let (traced, _, _) = run(4, true);
+        assert_eq!(base, traced);
+    }
+
+    /// The scenario must actually finish (and with it, every worker thread
+    /// a cycle spawned must have been joined — `thread::scope` guarantees
+    /// it, this pins the run itself terminating).
+    #[test]
+    fn parallel_scenario_quiesces() {
+        let (_, _, quiesced) = run(4, true);
+        assert!(quiesced, "scenario should quiesce well before the limit");
+    }
+}
+

@@ -46,8 +46,10 @@ pub enum Action<M> {
         msg: M,
     },
     /// One payload, many destinations. The sim shares the message via a
-    /// single `Rc` instead of deep-cloning per destination; a real backend
-    /// encodes the payload once per remote peer.
+    /// single `Arc` instead of deep-cloning per destination (`Arc`, not
+    /// `Rc`, so in-flight envelopes can cross worker shards under
+    /// `NOW_SIM_JOBS`); a real backend encodes the payload once per
+    /// remote peer.
     Multicast {
         /// Destinations, in send order.
         dsts: Vec<Pid>,
@@ -233,6 +235,7 @@ impl<M> Endpoint<M> {
                 stats,
                 obs,
                 next_timer,
+                timer_base: 0,
                 actions: &mut actions,
                 tracer: tracer.as_mut(),
                 cause,
@@ -263,6 +266,12 @@ pub struct Ctx<'a, M> {
     pub(crate) stats: &'a mut Stats,
     pub(crate) obs: &'a mut ObservationLog,
     pub(crate) next_timer: &'a mut u64,
+    /// High bits OR-ed into every allocated [`TimerId`]. The daemon path
+    /// passes 0 (one global counter); the parallel-capable engine passes a
+    /// pid-derived prefix with a *per-process* counter so timer ids are
+    /// identical no matter which shard — or how many shards — allocated
+    /// them.
+    pub(crate) timer_base: u64,
     pub(crate) actions: &'a mut Vec<Action<M>>,
     pub(crate) tracer: Option<&'a mut Tracer>,
     /// Trace seq of the event (delivery, timer) that triggered this
@@ -310,7 +319,7 @@ impl<'a, M> Ctx<'a, M> {
     /// Arms a timer that fires after `delay` with the caller-chosen `kind`
     /// discriminator. Returns a handle usable with [`Ctx::cancel_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, kind: u32) -> TimerId {
-        let id = TimerId(*self.next_timer);
+        let id = TimerId(self.timer_base | *self.next_timer);
         *self.next_timer += 1;
         self.actions.push(Action::SetTimer {
             id,
@@ -490,6 +499,37 @@ mod tests {
         let (t2, b) = ep.run(Pid(7), 0, None, |ctx| ctx.set_timer(SimDuration::ZERO, 0));
         ep.give_back(b);
         assert!(t2 > t1, "timer ids must never repeat across processes");
+    }
+
+    #[test]
+    fn timer_base_prefixes_allocated_ids() {
+        // The engine allocates timer ids from per-process counters under a
+        // pid-derived base; the ids must interleave the two without
+        // colliding and without disturbing the counters' low bits.
+        let mut rng = DetRng::seed_from_u64(0);
+        let mut stats = Stats::default();
+        let mut obs = ObservationLog::default();
+        let mut ctr: u64 = 5;
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let base = (3u64 + 1) << 32;
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            me: Pid(3),
+            incarnation: 0,
+            rng: &mut rng,
+            stats: &mut stats,
+            obs: &mut obs,
+            next_timer: &mut ctr,
+            timer_base: base,
+            actions: &mut actions,
+            tracer: None,
+            cause: None,
+        };
+        let a = ctx.set_timer(SimDuration::ZERO, 0);
+        let b = ctx.set_timer(SimDuration::ZERO, 0);
+        assert_eq!(a, TimerId(base | 5));
+        assert_eq!(b, TimerId(base | 6));
+        assert_eq!(ctr, 7);
     }
 
     #[test]

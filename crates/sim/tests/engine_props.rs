@@ -35,6 +35,7 @@ fn jittery(seed: u64, jitter_us: u64) -> Sim<Probe> {
             loopback: SimDuration::from_micros(1),
             fifo: true,
         },
+        jobs: None,
     };
     Sim::new(cfg)
 }
@@ -104,6 +105,7 @@ proptest! {
                 loopback: SimDuration::from_micros(1),
                 fifo: true,
             },
+            jobs: None,
         };
         let mut sim: Sim<Probe> = Sim::new(cfg);
         let nodes = sim.add_nodes(2);
